@@ -1,0 +1,64 @@
+"""Ablation — combining unroll-and-jam with unroll-and-squash (Ch. 2).
+
+"Unroll-and-jam can be applied with an unroll factor that matches the
+desired or available amount of operators, and then unroll-and-squash can
+be used to further improve the performance": on the f/g example,
+jam(2)+squash(2) quadruples throughput for ~2x the operators, beating
+both jam(4) (4x operators) and squash(4) alone (slower: II floor)."""
+
+import pytest
+
+from repro.analysis import find_kernel_nests
+from repro.harness import render_table
+from repro.hw import normalize
+from repro.nimble import (
+    compile_jam, compile_jam_squash, compile_original, compile_squash,
+)
+from repro.workloads.simple import build_fg_nest
+from repro.workloads.skipjack import build_program as build_skipjack
+
+
+def _grid():
+    prog = build_fg_nest(m=32, n=8)
+    nest = find_kernel_nests(prog)[0]
+    base = compile_original(prog, nest)
+    points = {"original": base}
+    for j, s in ((1, 2), (1, 4), (2, 1), (4, 1), (2, 2), (2, 4), (4, 4)):
+        if j == 1:
+            points[f"squash({s})"] = compile_squash(prog, nest, s,
+                                                    base_ii=base.ii)
+        elif s == 1:
+            points[f"jam({j})"] = compile_jam(prog, nest, j, base_ii=base.ii)
+        else:
+            points[f"jam({j})+squash({s})"] = compile_jam_squash(
+                prog, nest, j, s, base_ii=base.ii)
+    return points
+
+
+def test_combined_jam_squash(once, artifact):
+    points = once(_grid)
+    base = points["original"]
+    rows = []
+    for label, p in points.items():
+        n = normalize(base, p)
+        rows.append([label, p.ii, p.op_rows, p.registers,
+                     round(n.speedup, 2), round(n.efficiency, 2)])
+    text = render_table(
+        ["variant", "II", "op rows", "regs", "speedup", "efficiency"],
+        rows, title="Ablation: combined jam+squash on the f/g nest "
+                    "(Ch. 2 arithmetic).")
+    artifact("ablation_combined", text)
+
+    combo = points["jam(2)+squash(2)"]
+    n_combo = normalize(base, combo)
+    # Ch. 2: "quadruples the performance but only doubles the area"
+    assert n_combo.speedup == pytest.approx(4.0, rel=0.1)
+    assert combo.op_rows == 2 * base.op_rows
+    # the combination beats squash(4) alone (II floor of 1 was already hit
+    # by squash(2); more stages cannot help, more operators can)
+    assert n_combo.speedup > normalize(base, points["squash(4)"]).speedup
+    # and matches jam(4)'s speedup at half the operator area
+    n_jam4 = normalize(base, points["jam(4)"])
+    assert n_combo.speedup == pytest.approx(n_jam4.speedup, rel=0.1)
+    assert combo.op_rows == points["jam(4)"].op_rows // 2
+    assert n_combo.efficiency > n_jam4.efficiency

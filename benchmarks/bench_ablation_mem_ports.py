@@ -1,0 +1,45 @@
+"""Ablation — memory-bus width (thesis §6.1's "two memory references per
+clock cycle were allowed").
+
+The jam saturation point and the squash II floor are both set by the
+port count.  Sweep 1/2/4 ports on the memory-bound kernels: jam(8) II
+shrinks as ports double; squash II floor follows ceil(mem/ports); the
+port-free `-hw` kernels are insensitive."""
+
+import pytest
+
+from repro.harness import render_table, run_table_6_2
+
+PORTS = (1, 2, 4)
+
+
+def _sweep_ports():
+    out = {}
+    for ports in PORTS:
+        spec = "acev" if ports == 2 else f"acev::ports={ports}"
+        out[ports] = run_table_6_2((2, 4, 8, 16), spec)
+    return out
+
+
+def test_mem_ports(once, artifact):
+    sweeps = once(_sweep_ports)
+    rows = []
+    for kernel in ("skipjack-mem", "des-mem", "iir", "skipjack-hw"):
+        rows.append(
+            [kernel]
+            + [sweeps[p][kernel].jam[8].ii for p in PORTS]
+            + [sweeps[p][kernel].squash[16].ii for p in PORTS])
+    text = render_table(
+        ["kernel", "jam8 II @1p", "@2p", "@4p",
+         "sq16 II @1p", "@2p", "@4p"],
+        rows, title="Ablation: memory ports per cycle (target §6.1).")
+    artifact("ablation_mem_ports", text)
+
+    for kernel in ("skipjack-mem", "des-mem"):
+        jam_ii = [sweeps[p][kernel].jam[8].ii for p in PORTS]
+        assert jam_ii[0] > jam_ii[1] >= jam_ii[2], kernel   # more ports help
+        sq_ii = [sweeps[p][kernel].squash[16].ii for p in PORTS]
+        assert sq_ii[0] >= sq_ii[1] >= sq_ii[2], kernel
+    # port-free kernel: insensitive to the bus entirely
+    hw_ii = [sweeps[p]["skipjack-hw"].jam[8].ii for p in PORTS]
+    assert hw_ii[0] == hw_ii[1] == hw_ii[2]

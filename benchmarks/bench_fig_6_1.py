@@ -1,0 +1,29 @@
+"""Regenerates Figure 6.1 — speedup factor per kernel and variant.
+
+Shape claims: squash speedup grows with DS everywhere; jam wins at large
+factors on port-free kernels but loses its proportionality on the
+memory-bound ones (thesis: "unroll-and-jam fails to obtain a speedup
+proportional to the unroll factor for larger factors")."""
+
+import pytest
+
+from repro.harness import figure_series, format_figure, run_table_6_3
+
+
+def test_fig_6_1(once, artifact):
+    norm = run_table_6_3()
+    text = once(format_figure, "6.1", norm)
+    artifact("fig_6_1", text)
+
+    _, labels, series = figure_series("6.1", norm)
+    idx = {lab: k for k, lab in enumerate(labels)}
+    for kernel, vals in series.items():
+        assert vals[idx["original"]] == pytest.approx(1.0)
+        # squash speedup is monotone in DS
+        sq = [vals[idx[f"squash({k})"]] for k in (2, 4, 8, 16)]
+        assert all(a <= b + 1e-9 for a, b in zip(sq, sq[1:])), kernel
+    # jam proportionality holds for -hw, fails for -mem
+    hw = series["des-hw"]
+    assert hw[idx["jam(16)"]] / hw[idx["jam(2)"]] == pytest.approx(8, rel=0.1)
+    mem = series["des-mem"]
+    assert mem[idx["jam(16)"]] / mem[idx["jam(2)"]] < 4

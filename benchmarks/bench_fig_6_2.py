@@ -1,0 +1,30 @@
+"""Regenerates Figure 6.2 — area increase factor.
+
+Shape claims: jam area scales roughly linearly with the unroll factor
+(operator duplication); squash area grows far slower (registers only).
+The float benchmark (IIR) shows the starkest contrast, as in the paper.
+"""
+
+import pytest
+
+from repro.harness import figure_series, format_figure, run_table_6_3
+
+
+def test_fig_6_2(once, artifact):
+    norm = run_table_6_3()
+    text = once(format_figure, "6.2", norm)
+    artifact("fig_6_2", text)
+
+    _, labels, series = figure_series("6.2", norm)
+    idx = {lab: k for k, lab in enumerate(labels)}
+    for kernel, vals in series.items():
+        for k in (2, 4, 8, 16):
+            assert vals[idx[f"squash({k})"]] < vals[idx[f"jam({k})"]], \
+                (kernel, k)
+        # jam is roughly linear in the factor
+        assert vals[idx["jam(16)"]] == pytest.approx(
+            8 * vals[idx["jam(2)"]], rel=0.35), kernel
+    # IIR: squash(16) stays under ~2x while jam(16) explodes (paper: 2.4 vs 18.5)
+    iir = series["iir"]
+    assert iir[idx["squash(16)"]] < 2.5
+    assert iir[idx["jam(16)"]] > 10

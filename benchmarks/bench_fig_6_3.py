@@ -1,0 +1,35 @@
+"""Regenerates Figure 6.3 — efficiency (speedup/area), higher is better.
+
+Shape claims (thesis §6.3): squash wins over jam in most cases; jam
+efficiency decreases with factor on memory-bound kernels but stays about
+constant on port-free ones; IIR's squash efficiency *grows* with the
+factor (large original II, small reachable II)."""
+
+import pytest
+
+from repro.harness import figure_series, format_figure, run_table_6_3
+
+
+def test_fig_6_3(once, artifact):
+    norm = run_table_6_3()
+    text = once(format_figure, "6.3", norm)
+    artifact("fig_6_3", text)
+
+    _, labels, series = figure_series("6.3", norm)
+    idx = {lab: k for k, lab in enumerate(labels)}
+    # squash(4) beats jam(4) everywhere
+    for kernel, vals in series.items():
+        assert vals[idx["squash(4)"]] > vals[idx["jam(4)"]], kernel
+    # jam efficiency declines with factor on -mem kernels...
+    for kernel in ("skipjack-mem", "des-mem"):
+        vals = series[kernel]
+        assert vals[idx["jam(16)"]] < vals[idx["jam(2)"]], kernel
+    # ...but stays about constant on -hw kernels
+    for kernel in ("skipjack-hw", "des-hw"):
+        vals = series[kernel]
+        assert vals[idx["jam(16)"]] == pytest.approx(
+            vals[idx["jam(2)"]], rel=0.15), kernel
+    # IIR squash efficiency grows with the factor
+    iir = series["iir"]
+    sq = [iir[idx[f"squash({k})"]] for k in (2, 4, 8, 16)]
+    assert sq == sorted(sq)

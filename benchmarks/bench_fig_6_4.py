@@ -1,0 +1,27 @@
+"""Regenerates Figure 6.4 — operators as percent of total area.
+
+Shape claims: the operator share stays roughly constant across jam
+factors (operators and registers scale together) but falls sharply for
+squash at higher factors (only registers are added) — the observation
+behind the thesis's register-packing argument (§6.3)."""
+
+import pytest
+
+from repro.harness import figure_series, format_figure, run_table_6_3
+
+
+def test_fig_6_4(once, artifact):
+    norm = run_table_6_3()
+    text = once(format_figure, "6.4", norm)
+    artifact("fig_6_4", text)
+
+    _, labels, series = figure_series("6.4", norm)
+    idx = {lab: k for k, lab in enumerate(labels)}
+    for kernel, vals in series.items():
+        # sharp decline across squash factors
+        assert vals[idx["squash(16)"]] < vals[idx["squash(2)"]] * 0.8, kernel
+        # roughly flat across jam factors
+        assert vals[idx["jam(16)"]] == pytest.approx(
+            vals[idx["jam(2)"]], rel=0.25), kernel
+        # and squash(16) is register-dominated
+        assert vals[idx["squash(16)"]] < 75.0, kernel

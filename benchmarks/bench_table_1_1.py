@@ -1,0 +1,21 @@
+"""Regenerates Table 1.1 — program execution time in loops.
+
+Paper row format: benchmark | # loops | # loops >1 % time | total % of
+time in those loops.  Expected shape: nearly all execution time is
+concentrated in a handful of loops (>= 85 % for every program)."""
+
+from repro.harness import format_table_1_1, run_table_1_1
+
+
+def test_table_1_1(once, artifact):
+    results = once(run_table_1_1)
+    text = format_table_1_1(results)
+    artifact("table_1_1", text)
+
+    for bm, summary in results:
+        # the paper's headline: loops dominate execution time
+        assert summary.hot_share >= 0.85, (bm.name, summary.hot_share)
+        assert summary.n_hot_loops <= summary.n_loops
+    # ADPCM's profile is tiny and fully hot (3 loops in the paper)
+    adpcm = next(s for bm, s in results if bm.name == "adpcm")
+    assert adpcm.n_loops == 3 and adpcm.n_hot_loops == 3

@@ -1,0 +1,49 @@
+"""Regenerates Tables 6.1 + 6.2 — the raw synthesis sweep.
+
+Ten variants per kernel (original, pipelined, squash 2/4/8/16,
+jam 2/4/8/16) with II, area (rows), and register count.  Absolute values
+are our cost model's; the asserted *shape* claims come from the thesis:
+
+* squash II is non-increasing in DS; jam II is non-decreasing;
+* squash never increases the operator row count; jam scales it ~DS x;
+* on the `-mem` kernels jam's II eventually exceeds pipelined II
+  (memory-bus congestion), while the `-hw` kernels keep jam II flat;
+* squash register counts grow roughly linearly in DS.
+"""
+
+import pytest
+
+from repro.harness import (
+    format_table_6_1, format_table_6_2, run_table_6_1, run_table_6_2,
+)
+
+FACTORS = (2, 4, 8, 16)
+
+
+def test_table_6_2(once, artifact):
+    sweep = once(run_table_6_2, FACTORS)
+    text = format_table_6_1(run_table_6_1()) + "\n" + format_table_6_2(sweep)
+    artifact("table_6_2", text)
+
+    for kernel, vs in sweep.items():
+        sq = [vs.squash[k] for k in FACTORS]
+        jm = [vs.jam[k] for k in FACTORS]
+        # II monotonicity
+        assert all(a.ii >= b.ii for a, b in zip(sq, sq[1:])), kernel
+        assert all(a.ii <= b.ii for a, b in zip(jm, jm[1:])), kernel
+        assert vs.pipelined.ii <= vs.original.ii, kernel
+        # operator area: squash constant, jam scales
+        assert all(p.op_rows == vs.original.op_rows for p in sq), kernel
+        assert jm[-1].op_rows > 8 * vs.original.op_rows, kernel
+        # registers grow with DS for squash
+        assert all(a.registers < b.registers for a, b in zip(sq, sq[1:])), \
+            kernel
+
+    # memory congestion: -mem kernels see jam II blow past pipelined II
+    for kernel in ("skipjack-mem", "des-mem"):
+        vs = sweep[kernel]
+        assert vs.jam[16].ii > vs.pipelined.ii, kernel
+    # port-free kernels keep jam II flat at the recurrence bound
+    for kernel in ("skipjack-hw", "des-hw"):
+        vs = sweep[kernel]
+        assert vs.jam[16].ii == vs.jam[2].ii == vs.pipelined.ii, kernel

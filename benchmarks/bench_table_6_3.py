@@ -1,0 +1,44 @@
+"""Regenerates Table 6.3 — normalized speedup / area / registers /
+efficiency (base = the original non-pipelined design).
+
+Shape claims asserted (thesis §6.3):
+
+* squash achieves better speedup than plain pipelining on every kernel;
+* jam speedup is ~linear in DS on port-free kernels but saturates on the
+  memory-bound ones;
+* squash reaches speedups comparable to jam "with 2 to 10 times less
+  area" (we assert >= 2x at matched factors).
+"""
+
+import pytest
+
+from repro.harness import format_table_6_3, run_table_6_2, run_table_6_3
+
+FACTORS = (2, 4, 8, 16)
+
+
+def test_table_6_3(once, artifact):
+    sweep = run_table_6_2(FACTORS)
+    norm = once(run_table_6_3, sweep)
+    artifact("table_6_3", format_table_6_3(norm))
+
+    by_label = {
+        kernel: {n.point.label: n for n in pts}
+        for kernel, pts in norm.items()
+    }
+    for kernel, pts in by_label.items():
+        # squash beats plain pipelining
+        assert pts["squash(4)"].speedup > pts["pipelined"].speedup, kernel
+        # area discipline: squash(16) uses 2-10x less area than jam(16)
+        ratio = (pts["jam(16)"].point.area_rows
+                 / pts["squash(16)"].point.area_rows)
+        assert ratio >= 2.0, (kernel, ratio)
+
+    # jam ~linear on port-free kernels
+    hw = by_label["skipjack-hw"]
+    assert hw["jam(16)"].speedup == pytest.approx(16.0, rel=0.15)
+    # jam saturates under memory congestion
+    mem = by_label["skipjack-mem"]
+    assert mem["jam(16)"].speedup < 10.0
+    # squash does not add memory traffic: its speedup keeps improving
+    assert mem["squash(16)"].speedup >= mem["squash(4)"].speedup

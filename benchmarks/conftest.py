@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one thesis table/figure: it times the experiment
+through pytest-benchmark (single round — these are synthesis sweeps, not
+microbenchmarks) and writes the rendered artifact to
+``benchmarks/results/<name>.txt`` while echoing it to stdout so the
+``bench_output.txt`` transcript contains every reproduced artifact.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def artifact(capsys):
+    """Writer fixture: ``artifact("table_6_2", text)``."""
+    def write(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text)
+        with capsys.disabled():
+            print(f"\n{'=' * 72}\n{text}\n[saved to {path}]")
+    return write
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+    return run

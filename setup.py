@@ -1,0 +1,8 @@
+"""Setup shim for environments whose pip lacks the `wheel` package.
+
+All metadata lives in pyproject.toml; this file only enables the legacy
+editable-install path (`pip install -e .` -> `setup.py develop`).
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""Reproduction of *Efficient Pipelining of Nested Loops: Unroll-and-Squash*
+(Darin S. Petkov, IPPS 2002 / MIT MEng thesis 2001).
+
+Layered public API:
+
+* :mod:`repro.ir` — typed structured loop IR, builder, interpreter;
+* :mod:`repro.analysis` — liveness, induction variables, dependence tests;
+* :mod:`repro.transforms` — classical loop transforms incl. unroll-and-jam;
+* :mod:`repro.core` — the unroll-and-squash transformation;
+* :mod:`repro.hw` — operator library, modulo scheduler, area/register model;
+* :mod:`repro.nimble` — Nimble-Compiler-style driver (profiling, kernels,
+  variant compilation);
+* :mod:`repro.workloads` — Skipjack/DES/IIR and the Table 1.1 suite;
+* :mod:`repro.harness` — experiment runners regenerating every table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (  # noqa: F401
+    InterpError, IRError, LegalityError, ReproError, ScheduleError,
+    TypeMismatchError, ValidationError,
+)

@@ -1,0 +1,99 @@
+"""Outer-loop iteration-parallelism check (thesis §4.1–4.2).
+
+Unroll-and-squash (and unroll-and-jam) require the outer loop to be
+tileable in blocks of DS parallel iterations.  Two obstacle classes:
+
+* **scalar dependences** — a scalar carried around the outer backedge
+  (read at iteration top, written below).  Basic induction variables are
+  excused when ``allow_ivs`` is set (they are rewritable to closed form,
+  see :mod:`repro.analysis.induction`);
+* **array dependences** — classified by distance per §4.2 Case 1/2/3
+  using :mod:`repro.analysis.dependence`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.analysis.dependence import (
+    DistanceSet, MemAccess, collect_accesses, outer_distance, squash_case,
+)
+from repro.analysis.induction import find_basic_ivs
+from repro.analysis.loops import LoopNest
+from repro.analysis.usedef import loop_liveness
+
+__all__ = ["ParallelismReport", "check_outer_parallel"]
+
+
+@dataclass
+class ParallelismReport:
+    """Outcome of the outer-loop parallelism check."""
+
+    ok: bool = True
+    reasons: list[str] = field(default_factory=list)
+    scalar_conflicts: set[str] = field(default_factory=set)
+    array_conflicts: list[tuple[MemAccess, MemAccess, DistanceSet]] = \
+        field(default_factory=list)
+
+    def fail(self, reason: str) -> None:
+        self.ok = False
+        self.reasons.append(reason)
+
+
+def check_outer_parallel(program, nest: LoopNest, ds: int,
+                         allow_ivs: bool = True) -> ParallelismReport:
+    """Check that blocks of ``ds`` consecutive outer iterations are parallel.
+
+    ``allow_ivs=True`` excuses basic induction variables from the scalar
+    check (they are removable by closed-form rewriting); the squash driver
+    applies the rewrite before transformation.
+    """
+    report = ParallelismReport()
+
+    # --- scalar dependences around the outer backedge -----------------------
+    live = loop_liveness(nest.outer, set())
+    carried = set(live.carried)
+    if allow_ivs:
+        iv_names = {iv.var for iv in find_basic_ivs(nest.outer)}
+        carried -= iv_names
+    if carried:
+        report.scalar_conflicts = carried
+        report.fail(
+            f"outer-carried scalar dependences on {sorted(carried)}; "
+            "iterations are not parallel")
+
+    # --- array dependences ----------------------------------------------------
+    rom_names = frozenset(n for n, d in program.arrays.items() if d.rom)
+    accesses = collect_accesses(nest, rom_names=rom_names)
+    by_array: dict[str, list[MemAccess]] = {}
+    for a in accesses:
+        by_array.setdefault(a.array, []).append(a)
+
+    for array, accs in by_array.items():
+        for a1, a2 in combinations(accs, 2):
+            if not (a1.is_store or a2.is_store):
+                continue
+            dist = outer_distance(a1, a2, nest)
+            if squash_case(dist, ds) == 3:
+                report.array_conflicts.append((a1, a2, dist))
+                report.fail(
+                    f"array {array!r}: dependence distance {_fmt(dist)} "
+                    f"intersects the data-set window ±{ds - 1}")
+        # a store paired with itself across iterations (output dependence)
+        for a in accs:
+            if a.is_store:
+                dist = outer_distance(a, a, nest)
+                if squash_case(dist, ds) == 3:
+                    report.array_conflicts.append((a, a, dist))
+                    report.fail(
+                        f"array {array!r}: output dependence distance "
+                        f"{_fmt(dist)} intersects the data-set window ±{ds - 1}")
+    return report
+
+
+def _fmt(dist: DistanceSet) -> str:
+    from repro.analysis.dependence import DistanceKind
+    if dist.kind is DistanceKind.FINITE:
+        return str(sorted(dist.distances))
+    return dist.kind.value

@@ -1,0 +1,166 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``tables``      regenerate thesis tables/figures (1.1, 6.1, 6.2, 6.3,
+                fig6.1-fig6.4, fig2.4) to stdout or a directory;
+``profile``     Table 1.1-style loop profile of one benchmark;
+``squash``      transform one benchmark kernel, verify it, and report the
+                hardware estimate;
+``list``        list available benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+
+def _cmd_list(args) -> int:
+    from repro.workloads import table_1_1_programs, table_6_1_benchmarks
+    print("Table 6.1 kernels (hardware evaluation):")
+    for bm in table_6_1_benchmarks():
+        print(f"  {bm.name:<14} {bm.description}")
+    print("Table 1.1 programs (loop profiling):")
+    for bm in table_1_1_programs():
+        print(f"  {bm.name:<14} {bm.description}")
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    from repro.harness import (
+        format_fig_2_4, format_figure, format_table_1_1, format_table_6_1,
+        format_table_6_2, format_table_6_3, run_fig_2_4, run_table_1_1,
+        run_table_6_1, run_table_6_2, run_table_6_3,
+    )
+    factors = tuple(args.factors)
+    artifacts: dict[str, str] = {}
+    wanted = set(args.which) if args.which else None
+
+    def want(name: str) -> bool:
+        return wanted is None or name in wanted
+
+    if want("1.1"):
+        artifacts["table_1_1"] = format_table_1_1(run_table_1_1())
+    if want("6.1"):
+        artifacts["table_6_1"] = format_table_6_1(run_table_6_1())
+    needs_sweep = any(want(x) for x in
+                      ("6.2", "6.3", "fig6.1", "fig6.2", "fig6.3", "fig6.4"))
+    if needs_sweep:
+        sweep = run_table_6_2(factors, args.target)
+        if want("6.2"):
+            artifacts["table_6_2"] = format_table_6_2(sweep)
+        norm = run_table_6_3(sweep)
+        if want("6.3"):
+            artifacts["table_6_3"] = format_table_6_3(norm)
+        for fig in ("6.1", "6.2", "6.3", "6.4"):
+            if want(f"fig{fig}"):
+                artifacts[f"fig_{fig.replace('.', '_')}"] = \
+                    format_figure(fig, norm)
+    if want("fig2.4"):
+        artifacts["fig_2_4"] = format_fig_2_4(run_fig_2_4(ds=2))
+
+    for name, text in artifacts.items():
+        if args.out:
+            out = pathlib.Path(args.out)
+            out.mkdir(parents=True, exist_ok=True)
+            (out / f"{name}.txt").write_text(text)
+            print(f"wrote {out / f'{name}.txt'}")
+        else:
+            print("=" * 72)
+            print(text)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.harness import render_table
+    from repro.nimble import profile_summary
+    from repro.workloads import benchmark_by_name
+    bm = benchmark_by_name(args.benchmark)
+    prog = bm.build(**(bm.eval_kwargs or {}))
+    s = profile_summary(prog, params=bm.params, threshold=args.threshold)
+    rows = [[lp.label, lp.depth, lp.iterations, lp.inclusive_cost,
+             f"{lp.share:.1%}"] for lp in s.loops]
+    print(render_table(["loop", "depth", "iterations", "cost", "share"],
+                       rows, title=f"{bm.name}: {s.n_loops} loops, "
+                       f"{s.n_hot_loops} above {s.threshold:.0%}, "
+                       f"{s.hot_share:.0%} of time in hot loops"))
+    return 0
+
+
+def _cmd_squash(args) -> int:
+    import numpy as np
+    from repro.analysis import find_kernel_nests
+    from repro.core import unroll_and_squash
+    from repro.hw import normalize
+    from repro.ir import program_to_str, run_program
+    from repro.nimble import compile_original, compile_squash, target_by_name
+    from repro.workloads import benchmark_by_name
+
+    bm = benchmark_by_name(args.benchmark)
+    prog = bm.build(**(bm.small_kwargs or bm.eval_kwargs))
+    nest = find_kernel_nests(prog)[0]
+    res = unroll_and_squash(prog, nest, args.ds)
+    ref = run_program(prog, params=bm.params)
+    got = run_program(res.program, params=bm.params)
+    for name in prog.output_arrays():
+        if not np.array_equal(ref.arrays[name], got.arrays[name]):
+            print(f"FUNCTIONAL MISMATCH in {name}", file=sys.stderr)
+            return 1
+    print(f"{bm.name}: squash({args.ds}) verified "
+          f"(outputs bit-identical to the original)")
+
+    target = target_by_name(args.target)
+    base = compile_original(prog, nest, target)
+    point = compile_squash(prog, nest, args.ds, target, base_ii=base.ii)
+    n = normalize(base, point)
+    print(f"  original  : II={base.ii}, area={base.area_rows:.0f} rows, "
+          f"registers={base.registers}")
+    print(f"  squash({args.ds}) : II={point.ii}, area={point.area_rows:.0f} "
+          f"rows, registers={point.registers}")
+    print(f"  speedup {n.speedup:.2f}x, area {n.area_factor:.2f}x, "
+          f"efficiency {n.efficiency:.2f}")
+    if args.show_code:
+        print(program_to_str(res.program))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro", description="Unroll-and-squash reproduction CLI")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks").set_defaults(fn=_cmd_list)
+
+    t = sub.add_parser("tables", help="regenerate thesis tables/figures")
+    t.add_argument("which", nargs="*",
+                   help="subset: 1.1 6.1 6.2 6.3 fig6.1..fig6.4 fig2.4 "
+                        "(default: all)")
+    t.add_argument("--factors", type=int, nargs="+", default=[2, 4, 8, 16])
+    t.add_argument("--target", default="acev",
+                   help="acev | garp | acev::ports=N | acev::reg_rows=X")
+    t.add_argument("--out", help="write artifacts to this directory")
+    t.set_defaults(fn=_cmd_tables)
+
+    pr = sub.add_parser("profile", help="loop profile of one benchmark")
+    pr.add_argument("benchmark")
+    pr.add_argument("--threshold", type=float, default=0.01)
+    pr.set_defaults(fn=_cmd_profile)
+
+    sq = sub.add_parser("squash", help="squash one kernel and price it")
+    sq.add_argument("benchmark")
+    sq.add_argument("--ds", type=int, default=4)
+    sq.add_argument("--target", default="acev")
+    sq.add_argument("--show-code", action="store_true")
+    sq.set_defaults(fn=_cmd_squash)
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

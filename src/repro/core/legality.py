@@ -1,0 +1,100 @@
+"""Unroll-and-squash legality (thesis §4.1–4.2).
+
+Requirements checked, in the thesis's order:
+
+1. the unroll factor is sensible and the outer loop can be tiled in
+   blocks of DS iterations (constant trip count; remainders are peeled);
+2. tiled outer iterations are parallel (scalar + array dependence test,
+   §4.2 Cases 1/2/3) — delegated to
+   :func:`repro.analysis.parallel.check_outer_parallel`;
+3. the inner loop comprises a **single basic block** (apply
+   :func:`repro.transforms.if_convert` first when conditionals are
+   convertible);
+4. the inner loop has a **constant iteration count across outer
+   iterations** (constant bounds independent of the outer IV and of
+   anything the outer body writes), and executes at least once
+   ("the control-flow always passes through the inner loop").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.loops import LoopNest, trip_count
+from repro.analysis.parallel import ParallelismReport, check_outer_parallel
+from repro.analysis.ssa import is_straightline
+from repro.analysis.usedef import LoopLiveness, loop_liveness, uses_of_expr
+from repro.errors import LegalityError
+from repro.ir.nodes import Program
+from repro.ir.visitors import variables_written
+
+__all__ = ["SquashCheck", "check_squash"]
+
+
+@dataclass
+class SquashCheck:
+    """Outcome of the squash legality analysis."""
+
+    ok: bool = True
+    reasons: list[str] = field(default_factory=list)
+    parallelism: ParallelismReport | None = None
+    liveness: LoopLiveness | None = None
+    outer_trip: int | None = None
+    inner_trip: int | None = None
+
+    def fail(self, reason: str) -> None:
+        self.ok = False
+        self.reasons.append(reason)
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise LegalityError("unroll-and-squash rejected", self.reasons)
+
+
+def check_squash(program: Program, nest: LoopNest, ds: int) -> SquashCheck:
+    """Run the full §4.1 requirement list; never raises."""
+    chk = SquashCheck()
+    if ds < 1:
+        chk.fail(f"unroll factor {ds} must be >= 1")
+        return chk
+
+    chk.outer_trip = trip_count(nest.outer)
+    chk.inner_trip = trip_count(nest.inner)
+    if chk.outer_trip is None:
+        chk.fail("outer loop trip count must be a compile-time constant "
+                 "(needed for tiling in blocks of DS)")
+    if chk.inner_trip is None:
+        chk.fail("inner loop trip count must be a compile-time constant")
+    elif chk.inner_trip < 1:
+        chk.fail("inner loop must execute at least once "
+                 "(control flow always passes through it)")
+
+    if not is_straightline(nest.inner.body):
+        chk.fail("inner loop body must be a single basic block "
+                 "(apply if-conversion / code hoisting first, §4.2)")
+
+    bound_reads = uses_of_expr(nest.inner.lo) | uses_of_expr(nest.inner.hi)
+    if nest.outer.var in bound_reads:
+        chk.fail("inner loop bounds depend on the outer induction variable")
+    written = variables_written(nest.outer.body)
+    clobbered = bound_reads & written
+    if clobbered:
+        chk.fail(f"inner loop bounds read {sorted(clobbered)} "
+                 "which the outer body writes")
+
+    # liveness summary for the DFG build (live-out = anything the outer body
+    # reads after the inner loop, approximated by reads in post statements)
+    post_reads: set[str] = set()
+    for s in nest.post_stmts():
+        from repro.analysis.usedef import stmt_uses
+        from repro.ir.visitors import variables_read
+        post_reads |= variables_read(s)
+    chk.liveness = loop_liveness(nest.inner, post_reads)
+
+    if chk.ok:
+        rep = check_outer_parallel(program, nest, ds, allow_ivs=False)
+        chk.parallelism = rep
+        if not rep.ok:
+            for r in rep.reasons:
+                chk.fail(r)
+    return chk

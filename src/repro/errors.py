@@ -1,0 +1,46 @@
+"""Exception hierarchy for the unroll-and-squash reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Sub-classes mark the pipeline phase that failed:
+IR construction/validation, transformation legality, or hardware
+scheduling.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class IRError(ReproError):
+    """Malformed IR construction (bad types, unknown operators, ...)."""
+
+
+class ValidationError(IRError):
+    """A program failed structural validation (see :mod:`repro.ir.validate`)."""
+
+
+class TypeMismatchError(IRError):
+    """Operands of an expression cannot be unified to a single type."""
+
+
+class LegalityError(ReproError):
+    """A transformation's preconditions do not hold for the given loop nest.
+
+    Raised by the legality checkers in :mod:`repro.core.legality` and by the
+    classical transforms when applied to unsupported shapes.  The ``reasons``
+    attribute carries the individual violated requirements.
+    """
+
+    def __init__(self, message: str, reasons: list[str] | None = None):
+        super().__init__(message)
+        self.reasons: list[str] = reasons or []
+
+
+class ScheduleError(ReproError):
+    """The hardware scheduler could not produce a legal schedule."""
+
+
+class InterpError(ReproError):
+    """Runtime failure while interpreting an IR program."""

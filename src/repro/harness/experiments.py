@@ -1,0 +1,229 @@
+"""Experiment runners: one function per thesis table/figure.
+
+Each runner computes the experiment's data; ``format_*`` companions turn
+it into the printable artifact.  The Table 6.2 synthesis sweep is the
+expensive common input of all Chapter 6 artifacts, so it is cached per
+(factors, target) within the process — the benchmark modules all share
+one sweep.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional, Sequence
+
+from repro.analysis.loops import find_kernel_nests
+from repro.harness.tables import render_series, render_table, render_timeline
+from repro.hw import (
+    NormalizedPoint, modulo_schedule, normalize, occupancy_timeline,
+    squash_distances,
+)
+from repro.nimble import ACEV, Target, VariantSet, compile_variants, profile_summary
+from repro.workloads import table_1_1_programs, table_6_1_benchmarks
+
+__all__ = [
+    "run_table_1_1", "format_table_1_1",
+    "run_table_6_1", "format_table_6_1",
+    "run_table_6_2", "format_table_6_2",
+    "run_table_6_3", "format_table_6_3",
+    "figure_series", "format_figure", "run_fig_2_4", "format_fig_2_4",
+    "VARIANT_LABELS",
+]
+
+VARIANT_LABELS = ("original", "pipelined", "squash(2)", "squash(4)",
+                  "squash(8)", "squash(16)", "jam(2)", "jam(4)", "jam(8)",
+                  "jam(16)")
+
+
+# ---------------------------------------------------------------------------
+# Table 1.1 — program execution time in loops
+# ---------------------------------------------------------------------------
+
+def run_table_1_1(threshold: float = 0.01):
+    """Profile the benchmark suite; returns ProfileSummary list."""
+    out = []
+    for bm in table_1_1_programs():
+        prog = bm.build(**bm.eval_kwargs)
+        out.append((bm, profile_summary(prog, params=bm.params,
+                                        threshold=threshold)))
+    return out
+
+
+def format_table_1_1(results) -> str:
+    rows = []
+    for bm, s in results:
+        rows.append([bm.description, s.n_loops, s.n_hot_loops,
+                     f"{s.hot_share:.0%}"])
+    return render_table(
+        ["Benchmark", "# loops", f"# loops >1% time", "Total % (>1% time)"],
+        rows, title="Table 1.1: Program execution time in loops.")
+
+
+# ---------------------------------------------------------------------------
+# Table 6.1 — benchmark descriptions
+# ---------------------------------------------------------------------------
+
+def run_table_6_1():
+    return table_6_1_benchmarks()
+
+
+def format_table_6_1(benchmarks) -> str:
+    rows = [[bm.name, bm.description] for bm in benchmarks]
+    return render_table(["Benchmark", "Description"], rows,
+                        title="Table 6.1: Benchmark description.")
+
+
+# ---------------------------------------------------------------------------
+# Table 6.2 — raw II / area / registers (the synthesis sweep)
+# ---------------------------------------------------------------------------
+
+@lru_cache(maxsize=4)
+def _sweep(factors: tuple[int, ...], target_name: str) -> dict[str, VariantSet]:
+    from repro.nimble.target import target_by_name
+    target = target_by_name(target_name.split("::")[0]) \
+        if "::" not in target_name else _decode_target(target_name)
+    out: dict[str, VariantSet] = {}
+    for bm in table_6_1_benchmarks():
+        prog = bm.build(**bm.eval_kwargs)
+        nest = find_kernel_nests(prog)[0]
+        out[bm.name] = compile_variants(prog, nest, factors=factors,
+                                        target=target)
+    return out
+
+
+def _decode_target(spec: str) -> Target:
+    """Decode ``"acev::ports=1"`` / ``"acev::reg_rows=0.25"`` specs."""
+    from repro.nimble.target import target_by_name
+    name, _, mods = spec.partition("::")
+    target = target_by_name(name)
+    for mod in filter(None, mods.split(",")):
+        key, _, val = mod.partition("=")
+        if key == "ports":
+            target = target.with_mem_ports(int(val))
+        elif key == "reg_rows":
+            target = target.with_packed_registers(float(val))
+        else:  # pragma: no cover - defensive
+            raise KeyError(f"unknown target modifier {key!r}")
+    return target
+
+
+def run_table_6_2(factors: Sequence[int] = (2, 4, 8, 16),
+                  target_spec: str = "acev") -> dict[str, VariantSet]:
+    """The full synthesis sweep (cached per factors/target)."""
+    return _sweep(tuple(factors), target_spec)
+
+
+def format_table_6_2(sweep: dict[str, VariantSet]) -> str:
+    blocks = []
+    for kernel, vs in sweep.items():
+        pts = vs.all_points()
+        rows = [
+            ["II (cycles)"] + [p.ii for p in pts],
+            ["Area (rows)"] + [round(p.area_rows) for p in pts],
+            ["Registers"] + [p.registers for p in pts],
+        ]
+        blocks.append(render_table(
+            [kernel] + [p.label for p in pts], rows))
+    return ("Table 6.2: Raw data - initiation interval (II), area and "
+            "register count.\n" + "\n".join(blocks))
+
+
+# ---------------------------------------------------------------------------
+# Table 6.3 — normalized speedup / area / registers / efficiency
+# ---------------------------------------------------------------------------
+
+def run_table_6_3(sweep: Optional[dict[str, VariantSet]] = None
+                  ) -> dict[str, list[NormalizedPoint]]:
+    sweep = sweep or run_table_6_2()
+    out: dict[str, list[NormalizedPoint]] = {}
+    for kernel, vs in sweep.items():
+        base = vs.original
+        out[kernel] = [normalize(base, p) for p in vs.all_points()]
+    return out
+
+
+def format_table_6_3(norm: dict[str, list[NormalizedPoint]]) -> str:
+    blocks = []
+    for kernel, pts in norm.items():
+        rows = [
+            ["Speedup"] + [round(n.speedup, 2) for n in pts],
+            ["Area"] + [round(n.area_factor, 2) for n in pts],
+            ["Registers"] + [round(n.register_factor, 2) for n in pts],
+            ["Speedup/Area"] + [round(n.efficiency, 2) for n in pts],
+        ]
+        blocks.append(render_table(
+            [kernel] + [n.point.label for n in pts], rows))
+    return ("Table 6.3: Normalized data - estimated speedup, area, "
+            "registers and efficiency (speedup/area).\n" + "\n".join(blocks))
+
+
+# ---------------------------------------------------------------------------
+# Figures 6.1-6.4 — series over the variants
+# ---------------------------------------------------------------------------
+
+_FIGS = {
+    "6.1": ("Figure 6.1: Speedup factor.", lambda n: n.speedup),
+    "6.2": ("Figure 6.2: Area increase factor.", lambda n: n.area_factor),
+    "6.3": ("Figure 6.3: Efficiency factor (speedup/area) - higher is "
+            "better.", lambda n: n.efficiency),
+    "6.4": ("Figure 6.4: Operators as percent of the area.",
+            lambda n: 100.0 * n.operator_fraction),
+}
+
+
+def figure_series(fig: str, norm: Optional[dict] = None
+                  ) -> tuple[str, list[str], dict[str, list[float]]]:
+    """Data for one of Figures 6.1-6.4: (title, labels, kernel -> values)."""
+    title, metric = _FIGS[fig]
+    norm = norm or run_table_6_3()
+    labels = [n.point.label for n in next(iter(norm.values()))]
+    series = {kernel: [metric(n) for n in pts] for kernel, pts in norm.items()}
+    return title, labels, series
+
+
+def format_figure(fig: str, norm: Optional[dict] = None) -> str:
+    title, labels, series = figure_series(fig, norm)
+    fmt = "{:.1f}" if fig == "6.4" else "{:.2f}"
+    return render_series(title, labels, series, fmt=fmt)
+
+
+# ---------------------------------------------------------------------------
+# Figure 2.4 — operator usage over time (jam vs squash)
+# ---------------------------------------------------------------------------
+
+def run_fig_2_4(ds: int = 2, horizon: int = 24):
+    """Occupancy timelines for the f/g example: jam(ds) vs squash(ds)."""
+    from repro.core import analyze_nest
+    from repro.transforms.unroll_and_jam import unroll_and_jam
+    from repro.analysis.loops import find_loop_nests
+    from repro.workloads.simple import build_fg_nest
+
+    prog = build_fg_nest(m=16, n=8)
+    nest = find_kernel_nests(prog)[0]
+    lib = ACEV.library
+
+    # squash(ds): one operator set, relaxed distances
+    _, _, _, dfg_s, sa, _ = analyze_nest(prog, nest, ds, delay_fn=lib.delay)
+    edges = squash_distances(dfg_s, sa)
+    sched_s = modulo_schedule(dfg_s, lib, edges=edges)
+    squash_tl = occupancy_timeline(dfg_s, lib, sched_s, iterations=horizon,
+                                   horizon=horizon)
+
+    # jam(ds): duplicated operators
+    jammed = unroll_and_jam(prog, nest, ds)
+    jnest = next(n for n in find_loop_nests(jammed)
+                 if n.outer.step == nest.outer.step * ds)
+    _, _, _, dfg_j, _, _ = analyze_nest(jammed, jnest, 1, delay_fn=lib.delay)
+    sched_j = modulo_schedule(dfg_j, lib)
+    jam_tl = occupancy_timeline(dfg_j, lib, sched_j, iterations=horizon,
+                                horizon=horizon)
+    return {"jam": (sched_j, jam_tl), "squash": (sched_s, squash_tl)}
+
+
+def format_fig_2_4(data) -> str:
+    out = ["Figure 2.4: Operator usage (digits = iteration in flight, "
+           "'.' = idle)."]
+    for variant, (sched, tl) in data.items():
+        out.append(render_timeline(
+            f"  {variant} (II={sched.ii}):", tl))
+    return "\n".join(out)

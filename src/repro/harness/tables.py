@@ -1,0 +1,76 @@
+"""Plain-text table / series rendering for the experiment harness.
+
+The thesis reports results as tables (6.1–6.3) and bar-chart figures
+(6.1–6.4).  We render tables with fixed-width columns and figures as
+labeled numeric series plus a coarse ASCII bar per value, so the bench
+output is diffable and the "shape" claims are visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "render_series", "render_timeline"]
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "", min_width: int = 6) -> str:
+    """Render a fixed-width text table."""
+    rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [max(min_width, len(h)) for h in headers]
+    for row in rows:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    out = []
+    if title:
+        out.append(title)
+    out.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        out.append("  ".join(c.rjust(w) if _numeric(c) else c.ljust(w)
+                             for c, w in zip(row, widths)))
+    return "\n".join(out) + "\n"
+
+
+def render_series(title: str, labels: Sequence[str],
+                  series: dict[str, Sequence[float]],
+                  bar_width: int = 30, fmt: str = "{:.2f}") -> str:
+    """Render named series (one per kernel) over variant labels with bars."""
+    out = [title]
+    peak = max((v for vals in series.values() for v in vals), default=1.0)
+    peak = peak or 1.0
+    for name, vals in series.items():
+        out.append(f"  {name}")
+        for label, v in zip(labels, vals):
+            bar = "#" * max(1, round(bar_width * v / peak)) if v > 0 else ""
+            out.append(f"    {label:<12}{fmt.format(v):>9}  {bar}")
+    return "\n".join(out) + "\n"
+
+
+def render_timeline(title: str, timeline: dict[str, list[int]],
+                    max_cols: int = 64) -> str:
+    """Render an operator-occupancy timeline (thesis Fig. 2.4).
+
+    Each row is one operator; each column one cycle; digits identify the
+    data set / iteration occupying the operator, '.' marks idle.
+    """
+    out = [title]
+    for label, cells in timeline.items():
+        cells = cells[:max_cols]
+        text = "".join("." if c < 0 else str(c % 10) for c in cells)
+        out.append(f"  {label:<14}|{text}|")
+    return "\n".join(out) + "\n"
+
+
+def _fmt(c) -> str:
+    if isinstance(c, float):
+        return f"{c:.2f}"
+    return str(c)
+
+
+def _numeric(c: str) -> bool:
+    try:
+        float(c)
+        return True
+    except ValueError:
+        return False

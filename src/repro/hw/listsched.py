@@ -1,0 +1,53 @@
+"""Non-pipelined list scheduling — the ``original`` evaluation variant.
+
+Iterations execute back to back: the initiation interval equals the
+resource-constrained makespan of a single iteration.  Dependence-feasible
+ASAP placement with the memory bus limited to ``mem_ports`` references per
+absolute cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.dfg import DFG, DFGNode
+from repro.hw.ops import OperatorLibrary
+
+__all__ = ["ListSchedule", "list_schedule"]
+
+
+@dataclass
+class ListSchedule:
+    """Resource-constrained schedule of one iteration."""
+
+    time: dict[int, int] = field(default_factory=dict)
+    length: int = 0                    # makespan == non-pipelined II
+    port_usage: dict[int, int] = field(default_factory=dict)
+
+    def start(self, node: DFGNode) -> int:
+        return self.time[node.nid]
+
+
+def list_schedule(dfg: DFG, lib: OperatorLibrary) -> ListSchedule:
+    """ASAP schedule of the distance-0 subgraph under memory-port limits."""
+    sched = ListSchedule()
+    preds: dict[int, list[DFGNode]] = {n.nid: [] for n in dfg.nodes}
+    for e in dfg.edges:
+        if e.dist == 0:
+            preds[e.dst.nid].append(e.src)
+
+    for node in dfg.topo_order():
+        t = 0
+        for src in preds[node.nid]:
+            t = max(t, sched.time[src.nid] + lib.delay(src))
+        if lib.uses_mem_port(node):
+            while sched.port_usage.get(t, 0) >= lib.mem_ports:
+                t += 1
+            sched.port_usage[t] = sched.port_usage.get(t, 0) + 1
+        sched.time[node.nid] = t
+    sched.length = max((sched.time[n.nid] + lib.delay(n) for n in dfg.nodes),
+                       default=0)
+    # a loop iteration takes at least one cycle even if empty
+    sched.length = max(sched.length, 1)
+    return sched

@@ -1,0 +1,105 @@
+"""Minimum initiation interval bounds (thesis §3.5).
+
+* **RecMII** — the recurrence-constrained bound: the maximum over all DFG
+  cycles of ``ceil(delay(C) / distance(C))``.  Computed with the
+  parametric Bellman-Ford technique (is there a cycle with
+  ``delay > lambda * distance``? — binary search on lambda).
+* **ResMII** — the resource-constrained bound.  On the spatial FPGA
+  datapath every operator is its own functional unit, so the only shared
+  resource is the memory bus: ``ceil(memory references / ports)``.
+
+``squash_distances`` builds the relaxed edge-distance view of a squashed
+design: an edge crossing ``k`` stage boundaries gains ``k`` ticks of
+slack, and loop-carried edges are stretched to ``DS`` iterations — the
+formal core of why squash divides the recurrence bound by DS.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from repro.core.dfg import DFG, DFGNode
+from repro.core.stages import StageAssignment
+from repro.hw.ops import OperatorLibrary
+
+__all__ = ["rec_mii", "res_mii", "min_ii", "squash_distances", "EdgeView"]
+
+#: (src, dst, distance) triples — a distance view over the DFG's edges.
+EdgeView = list[tuple[DFGNode, DFGNode, int]]
+
+
+def default_edge_view(dfg: DFG) -> EdgeView:
+    return [(e.src, e.dst, e.dist) for e in dfg.edges]
+
+
+def squash_distances(dfg: DFG, sa: StageAssignment) -> EdgeView:
+    """Edge distances as seen by the squashed (per-tick) machine.
+
+    A distance-0 edge from stage p to stage c becomes distance ``c - p``
+    (the value rides that many pipeline registers); a distance-d backedge
+    becomes ``DS*d + (c - p)`` (stage deltas telescope to zero around any
+    cycle, so cycle distances scale by exactly DS).
+    """
+    out: EdgeView = []
+    for e in dfg.edges:
+        sp = sa.stage.get(e.src.nid, 1)
+        sc = sa.stage.get(e.dst.nid, 1)
+        out.append((e.src, e.dst, sa.ds * e.dist + (sc - sp)))
+    return out
+
+
+def _has_cycle_exceeding(edges: EdgeView, delay: Callable[[DFGNode], int],
+                         lam: int) -> bool:
+    """Is there a cycle with sum(delay) > lam * sum(distance)?
+
+    Bellman-Ford negative-cycle detection on weights
+    ``-(delay(src) - lam*dist)``.
+    """
+    nodes: dict[int, DFGNode] = {}
+    for s, d, _ in edges:
+        nodes[s.nid] = s
+        nodes[d.nid] = d
+    dist_map: dict[int, float] = {nid: 0.0 for nid in nodes}
+    n = len(nodes)
+    arcs = [(s.nid, d.nid, -(delay(s) - lam * dd)) for s, d, dd in edges]
+    for it in range(n):
+        changed = False
+        for u, v, w in arcs:
+            if dist_map[u] + w < dist_map[v] - 1e-9:
+                dist_map[v] = dist_map[u] + w
+                changed = True
+        if not changed:
+            return False
+    return True  # still relaxing after n passes: negative cycle exists
+
+
+def rec_mii(dfg: DFG, delay: Callable[[DFGNode], int],
+            edges: Optional[EdgeView] = None) -> int:
+    """Recurrence-constrained minimum II (1 if the graph is acyclic)."""
+    edges = edges if edges is not None else default_edge_view(dfg)
+    edges = [e for e in edges]
+    hi = sum(delay(n) for n in dfg.nodes) + 1
+    lo = 0
+    # smallest lam with no cycle exceeding lam  ==>  RecMII = lam
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if _has_cycle_exceeding(edges, delay, mid):
+            lo = mid + 1
+        else:
+            hi = mid
+    return max(1, lo)
+
+
+def res_mii(dfg: DFG, lib: OperatorLibrary) -> int:
+    """Resource-constrained minimum II (memory bus only; spatial ops)."""
+    mem = sum(1 for n in dfg.nodes if lib.uses_mem_port(n))
+    if mem == 0:
+        return 1
+    return max(1, math.ceil(mem / lib.mem_ports))
+
+
+def min_ii(dfg: DFG, lib: OperatorLibrary,
+           edges: Optional[EdgeView] = None) -> int:
+    """``max(RecMII, ResMII)`` — the scheduler's starting candidate."""
+    return max(rec_mii(dfg, lib.delay, edges), res_mii(dfg, lib))

@@ -1,0 +1,128 @@
+"""Modulo scheduling with a memory-port reservation table (thesis §3.5).
+
+Implements an iterative modulo scheduler in the style of Rau's IMS,
+specialized to the spatial FPGA datapath: every operator is its own
+functional unit, so the modulo reservation table (MRT) tracks only the
+shared memory bus (``mem_ports`` references per cycle).
+
+For each candidate II starting at ``max(RecMII, ResMII)``:
+
+1. place nodes in topological order of the distance-0 subgraph at their
+   earliest dependence-feasible slot, advancing memory operations until
+   their ``time mod II`` row has a free port;
+2. verify *all* edges — including backedges to already-placed nodes
+   (``t(dst) + II*dist >= t(src) + delay(src)``); if any fails, retry the
+   placement with the violated sinks delayed, and ultimately fall back to
+   the next II.
+
+The same engine schedules all pipelined variants: the plain loop
+(distances as built), and the squashed design (stage-relaxed distances
+from :func:`repro.hw.mii.squash_distances`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.dfg import DFG, DFGNode
+from repro.errors import ScheduleError
+from repro.hw.mii import EdgeView, default_edge_view, min_ii, rec_mii, res_mii
+from repro.hw.ops import OperatorLibrary
+
+__all__ = ["ModuloSchedule", "modulo_schedule"]
+
+
+@dataclass
+class ModuloSchedule:
+    """A legal modulo schedule."""
+
+    ii: int
+    time: dict[int, int]                 # node id -> start cycle
+    rec_mii: int
+    res_mii: int
+    #: MRT occupancy: row -> number of memory references
+    mrt: dict[int, int] = field(default_factory=dict)
+    #: schedule length of one iteration (makespan)
+    length: int = 0
+
+    def start(self, node: DFGNode) -> int:
+        return self.time[node.nid]
+
+
+def _attempt(dfg: DFG, edges: EdgeView, lib: OperatorLibrary, ii: int,
+             extra_lat: dict[int, int]) -> Optional[ModuloSchedule]:
+    delay = lib.delay
+    preds: dict[int, list[tuple[DFGNode, int]]] = {n.nid: [] for n in dfg.nodes}
+    for s, d, dist in edges:
+        preds[d.nid].append((s, dist))
+
+    time: dict[int, int] = {}
+    mrt: dict[int, int] = {}
+
+    for node in dfg.topo_order():
+        t = extra_lat.get(node.nid, 0)
+        for src, dist in preds[node.nid]:
+            if src.nid in time:
+                t = max(t, time[src.nid] + delay(src) - ii * dist)
+        t = max(t, 0)
+        if lib.uses_mem_port(node):
+            for _ in range(ii):
+                row = t % ii
+                if mrt.get(row, 0) < lib.mem_ports:
+                    break
+                t += 1
+            else:
+                return None
+            row = t % ii
+            if mrt.get(row, 0) >= lib.mem_ports:
+                return None
+            mrt[row] = mrt.get(row, 0) + 1
+        time[node.nid] = t
+
+    sched = ModuloSchedule(ii=ii, time=time, rec_mii=0, res_mii=0, mrt=mrt)
+    sched.length = max((time[n.nid] + delay(n) for n in dfg.nodes), default=0)
+    return sched
+
+
+def _violations(dfg: DFG, edges: EdgeView, lib: OperatorLibrary,
+                sched: ModuloSchedule) -> list[tuple[DFGNode, DFGNode, int]]:
+    out = []
+    for s, d, dist in edges:
+        if sched.time[d.nid] + sched.ii * dist < \
+                sched.time[s.nid] + lib.delay(s):
+            out.append((s, d, dist))
+    return out
+
+
+def modulo_schedule(dfg: DFG, lib: OperatorLibrary,
+                    edges: Optional[EdgeView] = None,
+                    max_ii: Optional[int] = None) -> ModuloSchedule:
+    """Find a legal modulo schedule; raises :class:`ScheduleError` if none.
+
+    ``edges`` overrides the dependence-distance view (used for squash).
+    """
+    edges = edges if edges is not None else default_edge_view(dfg)
+    rmii = rec_mii(dfg, lib.delay, edges)
+    smii = res_mii(dfg, lib)
+    start_ii = max(rmii, smii)
+    total_delay = sum(lib.delay(n) for n in dfg.nodes)
+    limit = max_ii or max(start_ii, total_delay) + 1
+
+    for ii in range(start_ii, limit + 1):
+        extra: dict[int, int] = {}
+        for _ in range(8):  # a few repair rounds per II
+            sched = _attempt(dfg, edges, lib, ii, extra)
+            if sched is None:
+                break
+            bad = _violations(dfg, edges, lib, sched)
+            if not bad:
+                sched.rec_mii = rmii
+                sched.res_mii = smii
+                return sched
+            for s, d, dist in bad:
+                need = sched.time[s.nid] + lib.delay(s) - ii * dist
+                extra[d.nid] = max(extra.get(d.nid, 0), need)
+    raise ScheduleError(
+        f"no modulo schedule found up to II={limit} "
+        f"(RecMII={rmii}, ResMII={smii})")

@@ -1,0 +1,120 @@
+"""Hardware operator library — delays (cycles) and areas (rows).
+
+Models the ACEV-class datapath of thesis §5.1/§6.1: the FPGA wrapper
+organizes logic in *rows*; every operator instance occupies rows and has
+a latency in clock cycles.  Key modeling decisions taken straight from
+the thesis:
+
+* **registers are regular operators, each taking a whole row** ("our
+  prototype implements the registers as regular operators, i.e., each
+  taking a whole row", §6.3) — the packed-shift-register ablation
+  (:mod:`benchmarks.bench_ablation_register_packing`) relaxes this;
+* **memory references**: at most ``mem_ports`` per clock cycle (§6.1,
+  two allowed); ROM lookups are on-chip tables and do not use the bus;
+* **floating point** operators are deep but fully pipelinable (§5.4:
+  "we modeled some operators such as floating point arithmetic to allow
+  deeper pipelining").
+
+All numbers are per-design-point constants of *our* cost model; the
+reproduction tracks the paper's relative shapes, not its absolute rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.dfg import DFGNode
+from repro.ir.types import ScalarType
+
+__all__ = ["OpSpec", "OperatorLibrary", "ACEV_LIBRARY", "GARP_LIBRARY"]
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Latency and area of one operator class."""
+
+    delay: int
+    rows: int
+
+
+def _default_table() -> dict[str, OpSpec]:
+    return {
+        # integer arithmetic
+        "add": OpSpec(1, 2), "sub": OpSpec(1, 2),
+        "min": OpSpec(1, 2), "max": OpSpec(1, 2),
+        "mul": OpSpec(2, 8),
+        "div": OpSpec(8, 16), "mod": OpSpec(8, 16),
+        # logic / shifts
+        "and": OpSpec(1, 1), "or": OpSpec(1, 1), "xor": OpSpec(1, 1),
+        "not": OpSpec(1, 1), "neg": OpSpec(1, 1),
+        "shl": OpSpec(1, 1), "shr": OpSpec(1, 1),
+        # comparisons and selection
+        "lt": OpSpec(1, 1), "le": OpSpec(1, 1), "gt": OpSpec(1, 1),
+        "ge": OpSpec(1, 1), "eq": OpSpec(1, 1), "ne": OpSpec(1, 1),
+        "select": OpSpec(1, 2),
+        "cast": OpSpec(0, 0),
+        # memory
+        "load": OpSpec(2, 2), "store": OpSpec(1, 2),
+        "rom_load": OpSpec(1, 4),
+        # floating point (pipelinable, §5.4)
+        "fadd": OpSpec(3, 12), "fsub": OpSpec(3, 12),
+        "fmul": OpSpec(4, 20), "fdiv": OpSpec(12, 40),
+        "fmin": OpSpec(1, 4), "fmax": OpSpec(1, 4),
+    }
+
+
+@dataclass
+class OperatorLibrary:
+    """Maps DFG nodes to :class:`OpSpec`; parameterized per target."""
+
+    name: str = "acev"
+    table: dict[str, OpSpec] = field(default_factory=_default_table)
+    #: rows per register ("registers as regular operators": 1 row each)
+    reg_rows: float = 1.0
+    #: memory-bus references allowed per clock cycle
+    mem_ports: int = 2
+
+    def key_for(self, node: DFGNode) -> str:
+        if node.kind in ("load", "store", "rom_load", "select", "cast"):
+            return node.kind
+        if node.kind == "inc":
+            return "add"
+        op = node.op or ""
+        if node.ty.is_float and op in ("add", "sub", "mul", "div", "min", "max"):
+            return f"f{op}"
+        return op
+
+    def spec(self, node: DFGNode) -> OpSpec:
+        if not node.is_operator:
+            return OpSpec(0, 0)
+        key = self.key_for(node)
+        try:
+            return self.table[key]
+        except KeyError:  # pragma: no cover - defensive
+            raise KeyError(f"no operator spec for DFG node {node!r} ({key})")
+
+    def delay(self, node: DFGNode) -> int:
+        """Latency in cycles (0 for registers/constants/copies)."""
+        return self.spec(node).delay
+
+    def rows(self, node: DFGNode) -> int:
+        """Area in rows."""
+        return self.spec(node).rows
+
+    def uses_mem_port(self, node: DFGNode) -> bool:
+        """Does this node occupy a memory-bus port for one cycle?"""
+        return node.kind in ("load", "store")
+
+    def with_ports(self, ports: int) -> "OperatorLibrary":
+        return replace(self, mem_ports=ports, table=dict(self.table))
+
+    def with_packed_registers(self, rows_per_register: float) -> "OperatorLibrary":
+        """Ablation: registers packed into shift registers (§4.4/§6.3)."""
+        return replace(self, reg_rows=rows_per_register, table=dict(self.table))
+
+
+#: Default target: the ACEV board of §6.1 (2 memory references/cycle).
+ACEV_LIBRARY = OperatorLibrary(name="acev", mem_ports=2)
+
+#: A GARP-like alternative with a single memory bus (used in ablations).
+GARP_LIBRARY = OperatorLibrary(name="garp", mem_ports=1)

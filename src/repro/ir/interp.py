@@ -1,0 +1,573 @@
+"""Reference interpreter and compiled executor for IR programs.
+
+Two execution engines with identical semantics:
+
+* :class:`Interpreter` — a tree-walking evaluator that also attributes a
+  per-operation cost to every enclosing loop.  It is the semantics oracle
+  for all transformation correctness tests and the engine behind the
+  Table 1.1 loop profiler.
+* :func:`compile_program` — translates a program to a Python function
+  (textual code generation) for fast functional verification of large
+  transformed kernels.  Property tests pin it to the tree-walker.
+
+Semantics notes (shared by both engines):
+
+* integer ops wrap at the expression's declared width (two's complement);
+* scalar assignment wraps at the *local's* declared width (C assignment);
+* ``div``/``mod`` on integers truncate toward zero (C semantics);
+* shifts use the operand's width; amounts >= width yield 0 (after masking
+  a 6-bit hardware-style shift amount this cannot occur for <= 64-bit
+  types, so we simply clamp);
+* ``Select`` evaluates **both** arms, like the if-converted hardware would;
+* ``f32`` results round through IEEE single after every operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import InterpError
+from repro.ir.nodes import (
+    Assign, BinOp, Block, Cast, Const, Expr, For, If, Load, Program, Select,
+    Stmt, Store, UnOp, Var,
+)
+from repro.ir.types import F32, ScalarType, wrap_int
+
+__all__ = [
+    "ExecutionResult", "LoopRecord", "Interpreter", "run_program",
+    "compile_program", "CostModel", "UNIT_COSTS",
+]
+
+
+# ---------------------------------------------------------------------------
+# Cost model
+# ---------------------------------------------------------------------------
+
+#: op-kind -> abstract cost.  The default charges 1 per operation, which is
+#: what the thesis's profiling front-end effectively measured (basic-block
+#: execution traces).  The hardware layer supplies latency-weighted models.
+UNIT_COSTS: dict[str, int] = {}
+
+CostModel = Callable[[str, ScalarType], int]
+
+
+def _unit_cost(op: str, ty: ScalarType) -> int:
+    return 1
+
+
+def make_table_cost_model(table: dict[str, int], default: int = 1) -> CostModel:
+    """A cost model reading per-op costs from a table."""
+    def model(op: str, ty: ScalarType) -> int:
+        return table.get(op, default)
+    return model
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LoopRecord:
+    """Per-loop dynamic statistics collected by the interpreter."""
+
+    loop: For
+    depth: int
+    iterations: int = 0
+    #: cost of operations executed anywhere inside the loop (inclusive).
+    inclusive_cost: int = 0
+
+    @property
+    def label(self) -> str:
+        return f"for({self.loop.var})@d{self.depth}"
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running a program."""
+
+    arrays: dict[str, np.ndarray]
+    scalars: dict[str, float | int]
+    total_cost: int = 0
+    op_counts: dict[str, int] = field(default_factory=dict)
+    loop_records: dict[int, LoopRecord] = field(default_factory=dict)
+
+    def output(self, name: Optional[str] = None) -> np.ndarray:
+        """The named output array (or the unique one if unnamed)."""
+        if name is not None:
+            return self.arrays[name]
+        outs = [k for k, v in self.arrays.items() if v is not None]
+        if len(outs) == 1:
+            return self.arrays[outs[0]]
+        raise InterpError("output() needs a name when several arrays exist")
+
+
+# ---------------------------------------------------------------------------
+# Shared scalar-op semantics
+# ---------------------------------------------------------------------------
+
+def _f32r(v: float) -> float:
+    return float(np.float32(v))
+
+
+def _int_div(a: int, b: int) -> int:
+    if b == 0:
+        raise InterpError("integer division by zero")
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _int_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise InterpError("integer modulo by zero")
+    return a - _int_div(a, b) * b
+
+
+def eval_binop(op: str, a, b, ty: ScalarType):
+    """Evaluate one binary operation under IR semantics (shared helper)."""
+    if op == "add":
+        r = a + b
+    elif op == "sub":
+        r = a - b
+    elif op == "mul":
+        r = a * b
+    elif op == "div":
+        r = (a / b if ty.is_float else _int_div(a, b))
+        if ty.is_float and b == 0:
+            raise InterpError("float division by zero")
+    elif op == "mod":
+        r = _int_mod(a, b)
+    elif op == "and":
+        r = a & b
+    elif op == "or":
+        r = a | b
+    elif op == "xor":
+        r = a ^ b
+    elif op == "shl":
+        r = 0 if b >= ty.bits or b < 0 else a << b
+    elif op == "shr":
+        r = (a >> min(b, ty.bits) if b >= 0 else 0)
+    elif op == "min":
+        r = min(a, b)
+    elif op == "max":
+        r = max(a, b)
+    elif op == "lt":
+        return 1 if a < b else 0
+    elif op == "le":
+        return 1 if a <= b else 0
+    elif op == "gt":
+        return 1 if a > b else 0
+    elif op == "ge":
+        return 1 if a >= b else 0
+    elif op == "eq":
+        return 1 if a == b else 0
+    elif op == "ne":
+        return 1 if a != b else 0
+    else:  # pragma: no cover - defensive
+        raise InterpError(f"unknown binop {op!r}")
+    if ty.is_float:
+        return _f32r(r) if ty is F32 else float(r)
+    return wrap_int(int(r), ty)
+
+
+def cast_value(v, ty: ScalarType):
+    """Scalar conversion used by Cast, Assign, and Store."""
+    if ty.is_float:
+        v = float(v)
+        return _f32r(v) if ty is F32 else v
+    return wrap_int(int(v), ty)
+
+
+# ---------------------------------------------------------------------------
+# Tree-walking interpreter
+# ---------------------------------------------------------------------------
+
+class Interpreter:
+    """Tree-walking evaluator with per-loop cost attribution.
+
+    Parameters
+    ----------
+    program:
+        The IR program to execute.
+    cost_model:
+        ``(op_kind, result_type) -> cost``; defaults to unit cost per op.
+        Memory operations use kinds ``"load"``/``"store"``/``"rom_load"``.
+    """
+
+    def __init__(self, program: Program, cost_model: Optional[CostModel] = None):
+        self.program = program
+        self.cost = cost_model or _unit_cost
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, params: Optional[dict[str, int]] = None,
+            arrays: Optional[dict[str, np.ndarray]] = None) -> ExecutionResult:
+        """Execute the program and return arrays, scalars, and statistics.
+
+        ``arrays`` overrides initial contents for non-ROM arrays; arrays
+        without declared or provided init start zero-filled.
+        """
+        params = dict(params or {})
+        for p in self.program.params:
+            if p not in params:
+                raise InterpError(f"missing parameter {p!r}")
+        storage: dict[str, np.ndarray] = {}
+        for name, decl in self.program.arrays.items():
+            if arrays and name in arrays:
+                if decl.rom:
+                    raise InterpError(f"cannot override ROM {name!r}")
+                src = np.asarray(arrays[name], dtype=decl.ty.numpy_dtype())
+                if src.shape != decl.shape:
+                    raise InterpError(
+                        f"array {name!r}: provided shape {src.shape} != {decl.shape}")
+                storage[name] = src.copy()
+            elif decl.init is not None:
+                storage[name] = decl.init.copy()
+            else:
+                storage[name] = np.zeros(decl.shape, dtype=decl.ty.numpy_dtype())
+
+        self._env: dict[str, int | float] = {k: v for k, v in params.items()}
+        self._storage = storage
+        self._total = 0
+        self._ops: dict[str, int] = {}
+        self._records: dict[int, LoopRecord] = {}
+        self._stack: list[LoopRecord] = []
+
+        self._exec_block(self.program.body)
+
+        scalars = {k: v for k, v in self._env.items() if k not in params}
+        return ExecutionResult(arrays=storage, scalars=scalars,
+                               total_cost=self._total, op_counts=self._ops,
+                               loop_records=self._records)
+
+    # -- internals ------------------------------------------------------------
+
+    def _charge(self, kind: str, ty: ScalarType) -> None:
+        c = self.cost(kind, ty)
+        self._total += c
+        self._ops[kind] = self._ops.get(kind, 0) + 1
+        for rec in self._stack:
+            rec.inclusive_cost += c
+
+    def _eval(self, e: Expr):
+        if isinstance(e, Const):
+            return e.value
+        if isinstance(e, Var):
+            try:
+                return self._env[e.name]
+            except KeyError:
+                raise InterpError(f"read of undefined scalar {e.name!r}") from None
+        if isinstance(e, BinOp):
+            a = self._eval(e.lhs)
+            b = self._eval(e.rhs)
+            self._charge(e.op, e.ty)
+            return eval_binop(e.op, a, b, e.ty)
+        if isinstance(e, UnOp):
+            v = self._eval(e.operand)
+            self._charge(e.op, e.ty)
+            if e.op == "neg":
+                r = -v
+                return cast_value(r, e.ty)
+            return wrap_int(~int(v), e.ty)
+        if isinstance(e, Load):
+            decl = self.program.arrays.get(e.array)
+            if decl is None:
+                raise InterpError(f"load from unknown array {e.array!r}")
+            idx = tuple(int(self._eval(i)) for i in e.index)
+            self._charge("rom_load" if decl.rom else "load", e.ty)
+            try:
+                v = self._storage[e.array][idx]
+            except IndexError:
+                raise InterpError(
+                    f"out-of-bounds load {e.array}{list(idx)} "
+                    f"(shape {decl.shape})") from None
+            for i, (x, s) in enumerate(zip(idx, decl.shape)):
+                if x < 0:
+                    raise InterpError(
+                        f"negative subscript {x} in dim {i} of {e.array!r}")
+            return float(v) if decl.ty.is_float else int(v)
+        if isinstance(e, Select):
+            c = self._eval(e.cond)
+            t = self._eval(e.iftrue)
+            f = self._eval(e.iffalse)
+            self._charge("select", e.ty)
+            return cast_value(t if c else f, e.ty)
+        if isinstance(e, Cast):
+            v = self._eval(e.operand)
+            self._charge("cast", e.ty)
+            return cast_value(v, e.ty)
+        raise InterpError(f"unknown expression node {type(e).__name__}")
+
+    def _exec_block(self, b: Block) -> None:
+        for s in b.stmts:
+            self._exec(s)
+
+    def _exec(self, s: Stmt) -> None:
+        if isinstance(s, Assign):
+            v = self._eval(s.expr)
+            ty = self.program.scalar_type(s.var)
+            self._env[s.var] = cast_value(v, ty)
+            return
+        if isinstance(s, Store):
+            decl = self.program.arrays.get(s.array)
+            if decl is None:
+                raise InterpError(f"store to unknown array {s.array!r}")
+            if decl.rom:
+                raise InterpError(f"store to ROM {s.array!r}")
+            idx = tuple(int(self._eval(i)) for i in s.index)
+            v = self._eval(s.value)
+            self._charge("store", decl.ty)
+            for i, (x, sz) in enumerate(zip(idx, decl.shape)):
+                if not (0 <= x < sz):
+                    raise InterpError(
+                        f"out-of-bounds store {s.array}{list(idx)} "
+                        f"(shape {decl.shape})")
+            self._storage[s.array][idx] = cast_value(v, decl.ty)
+            return
+        if isinstance(s, Block):
+            self._exec_block(s)
+            return
+        if isinstance(s, For):
+            lo = int(self._eval(s.lo))
+            hi = int(self._eval(s.hi))
+            rec = self._records.get(id(s))
+            if rec is None:
+                rec = LoopRecord(s, depth=len(self._stack))
+                self._records[id(s)] = rec
+            self._stack.append(rec)
+            try:
+                for v in range(lo, hi, s.step):
+                    self._env[s.var] = v
+                    rec.iterations += 1
+                    self._charge("branch", s.lo.ty)
+                    self._exec_block(s.body)
+            finally:
+                self._stack.pop()
+            return
+        if isinstance(s, If):
+            c = self._eval(s.cond)
+            self._charge("branch", s.cond.ty)
+            self._exec_block(s.then if c else s.orelse)
+            return
+        raise InterpError(f"unknown statement node {type(s).__name__}")
+
+
+def run_program(program: Program, params: Optional[dict[str, int]] = None,
+                arrays: Optional[dict[str, np.ndarray]] = None,
+                cost_model: Optional[CostModel] = None) -> ExecutionResult:
+    """One-shot convenience wrapper around :class:`Interpreter`."""
+    return Interpreter(program, cost_model).run(params, arrays)
+
+
+# ---------------------------------------------------------------------------
+# Compile-to-Python fast path
+# ---------------------------------------------------------------------------
+
+class _PyGen:
+    """Textual code generator producing a Python executable for a program."""
+
+    def __init__(self, program: Program):
+        self.p = program
+        self.lines: list[str] = []
+        self.indent = 1
+
+    def w(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    # expression codegen -----------------------------------------------------
+
+    def _wrap(self, text: str, ty: ScalarType) -> str:
+        if ty.is_float:
+            return f"_f32({text})" if ty is F32 else text
+        if ty.signed:
+            return f"_sw({text}, {ty.mask}, {1 << (ty.bits - 1)})"
+        return f"(({text}) & {ty.mask})"
+
+    def expr(self, e: Expr) -> str:
+        if isinstance(e, Const):
+            return repr(e.value)
+        if isinstance(e, Var):
+            return f"V_{e.name}"
+        if isinstance(e, BinOp):
+            a, b = self.expr(e.lhs), self.expr(e.rhs)
+            op = e.op
+            if op in ("lt", "le", "gt", "ge", "eq", "ne"):
+                sym = {"lt": "<", "le": "<=", "gt": ">", "ge": ">=",
+                       "eq": "==", "ne": "!="}[op]
+                return f"(1 if ({a}) {sym} ({b}) else 0)"
+            if op in ("min", "max"):
+                return self._wrap(f"{op}({a}, {b})", e.ty)
+            if op == "div":
+                return (f"(({a}) / ({b}))" if e.ty.is_float
+                        else self._wrap(f"_idiv({a}, {b})", e.ty))
+            if op == "mod":
+                return self._wrap(f"_imod({a}, {b})", e.ty)
+            if op == "shl":
+                return self._wrap(f"_shl({a}, {b}, {e.ty.bits})", e.ty)
+            if op == "shr":
+                return self._wrap(f"_shr({a}, {b}, {e.ty.bits})", e.ty)
+            sym = {"add": "+", "sub": "-", "mul": "*", "and": "&",
+                   "or": "|", "xor": "^"}[op]
+            return self._wrap(f"({a}) {sym} ({b})", e.ty)
+        if isinstance(e, UnOp):
+            v = self.expr(e.operand)
+            if e.op == "neg":
+                return self._wrap(f"-({v})", e.ty)
+            return self._wrap(f"~int({v})", e.ty)
+        if isinstance(e, Load):
+            decl = self.p.arrays[e.array]
+            idx = ", ".join(self.expr(i) for i in e.index)
+            conv = "float" if decl.ty.is_float else "int"
+            return f"{conv}(A_{e.array}[{idx}])"
+        if isinstance(e, Select):
+            c = self.expr(e.cond)
+            t = self.expr(e.iftrue)
+            f = self.expr(e.iffalse)
+            # evaluate both arms, as hardware select would
+            return self._wrap(f"_sel({c}, {t}, {f})", e.ty)
+        if isinstance(e, Cast):
+            v = self.expr(e.operand)
+            if e.ty.is_float:
+                return self._wrap(f"float({v})", e.ty)
+            return self._wrap(f"int({v})", e.ty)
+        raise InterpError(f"unknown expression node {type(e).__name__}")
+
+    # statement codegen --------------------------------------------------------
+
+    def stmt(self, s: Stmt) -> None:
+        if isinstance(s, Assign):
+            ty = self.p.scalar_type(s.var)
+            src = self.expr(s.expr)
+            if ty.is_float and not s.expr.ty.is_float:
+                src = f"float({src})"
+            elif not ty.is_float and s.expr.ty.is_float:
+                src = f"int({src})"
+            self.w(f"V_{s.var} = {self._wrap(src, ty)}")
+            return
+        if isinstance(s, Store):
+            decl = self.p.arrays[s.array]
+            idx = ", ".join(self.expr(i) for i in s.index)
+            val = self.expr(s.value)
+            if not decl.ty.is_float:
+                val = self._wrap(f"int({val})", decl.ty)
+            self.w(f"A_{s.array}[{idx}] = {val}")
+            return
+        if isinstance(s, Block):
+            if not s.stmts:
+                self.w("pass")
+            for c in s.stmts:
+                self.stmt(c)
+            return
+        if isinstance(s, For):
+            lo, hi = self.expr(s.lo), self.expr(s.hi)
+            self.w(f"for V_{s.var} in range({lo}, {hi}, {s.step}):")
+            self.indent += 1
+            if s.body.stmts:
+                self.stmt(s.body)
+            else:
+                self.w("pass")
+            self.indent -= 1
+            return
+        if isinstance(s, If):
+            self.w(f"if {self.expr(s.cond)}:")
+            self.indent += 1
+            self.stmt(s.then) if s.then.stmts else self.w("pass")
+            self.indent -= 1
+            if s.orelse.stmts:
+                self.w("else:")
+                self.indent += 1
+                self.stmt(s.orelse)
+                self.indent -= 1
+            return
+        raise InterpError(f"unknown statement node {type(s).__name__}")
+
+    def generate(self) -> str:
+        header = [
+            "def _program(params, arrays):",
+        ]
+        for name in self.p.params:
+            self.lines.insert(0, f"    V_{name} = params[{name!r}]")
+        for name in self.p.arrays:
+            self.lines.insert(0, f"    A_{name} = arrays[{name!r}]")
+        self.stmt(self.p.body)
+        self.w("return {k: v for k, v in locals().items() if k.startswith('V_')}")
+        return "\n".join(header + self.lines) + "\n"
+
+
+_PRELUDE = """
+import numpy as _np
+
+def _sw(x, mask, sign):
+    x &= mask
+    return x - (sign << 1) if x >= sign else x
+
+def _f32(x):
+    return float(_np.float32(x))
+
+def _idiv(a, b):
+    if b == 0:
+        raise ZeroDivisionError('integer division by zero')
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+def _imod(a, b):
+    return a - _idiv(a, b) * b
+
+def _shl(a, b, bits):
+    return 0 if (b >= bits or b < 0) else a << b
+
+def _shr(a, b, bits):
+    return (a >> min(b, bits)) if b >= 0 else 0
+
+def _sel(c, t, f):
+    return t if c else f
+"""
+
+
+def compile_program(program: Program) -> Callable[..., ExecutionResult]:
+    """Compile a program to a fast Python callable.
+
+    The callable has the same signature as :meth:`Interpreter.run` and
+    returns an :class:`ExecutionResult` (without cost accounting, which the
+    tree-walker provides).  Generated code is pure Python so semantics stay
+    inspectable: ``compile_program(p).source`` holds the text.
+    """
+    gen = _PyGen(program)
+    body_src = gen.generate()
+    src = _PRELUDE + "\n" + body_src
+    namespace: dict = {}
+    exec(compile(src, f"<ir:{program.name}>", "exec"), namespace)
+    fn = namespace["_program"]
+
+    def run(params: Optional[dict[str, int]] = None,
+            arrays: Optional[dict[str, np.ndarray]] = None) -> ExecutionResult:
+        params = dict(params or {})
+        for p in program.params:
+            if p not in params:
+                raise InterpError(f"missing parameter {p!r}")
+        storage: dict[str, np.ndarray] = {}
+        for name, decl in program.arrays.items():
+            if arrays and name in arrays:
+                if decl.rom:
+                    raise InterpError(f"cannot override ROM {name!r}")
+                src_arr = np.asarray(arrays[name], dtype=decl.ty.numpy_dtype())
+                if src_arr.shape != decl.shape:
+                    raise InterpError(
+                        f"array {name!r}: provided shape {src_arr.shape} != {decl.shape}")
+                storage[name] = src_arr.copy()
+            elif decl.init is not None:
+                storage[name] = decl.init.copy()
+            else:
+                storage[name] = np.zeros(decl.shape, dtype=decl.ty.numpy_dtype())
+        try:
+            scal = fn(params, storage)
+        except (ZeroDivisionError, IndexError) as exc:
+            raise InterpError(str(exc)) from exc
+        scalars = {k[2:]: v for k, v in scal.items()
+                   if k.startswith("V_") and k[2:] not in params}
+        return ExecutionResult(arrays=storage, scalars=scalars)
+
+    run.source = src  # type: ignore[attr-defined]
+    return run

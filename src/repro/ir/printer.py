@@ -1,0 +1,115 @@
+"""C-like pretty-printer for the IR.
+
+Used by the examples to render before/after listings in the style of the
+thesis figures (Fig. 2.1–2.3, 3.3) and by ``repr`` on nodes for debugging.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import (
+    Assign, BinOp, Block, Cast, Const, Expr, For, If, Load, Program, Select,
+    Stmt, Store, UnOp, Var,
+)
+
+__all__ = ["expr_to_str", "stmt_to_str", "program_to_str"]
+
+_BIN_SYMBOL = {
+    "add": "+", "sub": "-", "mul": "*", "div": "/", "mod": "%",
+    "and": "&", "or": "|", "xor": "^", "shl": "<<", "shr": ">>",
+    "lt": "<", "le": "<=", "gt": ">", "ge": ">=", "eq": "==", "ne": "!=",
+}
+
+# Loose C-like precedence (higher binds tighter).
+_PRECEDENCE = {
+    "or": 1, "xor": 2, "and": 3,
+    "eq": 4, "ne": 4,
+    "lt": 5, "le": 5, "gt": 5, "ge": 5,
+    "shl": 6, "shr": 6,
+    "add": 7, "sub": 7,
+    "mul": 8, "div": 8, "mod": 8,
+    "min": 9, "max": 9,
+}
+
+
+def _prec(e: Expr) -> int:
+    if isinstance(e, BinOp):
+        return _PRECEDENCE.get(e.op, 9)
+    if isinstance(e, (Select,)):
+        return 0
+    return 10
+
+
+def expr_to_str(e: Expr) -> str:
+    """Render an expression as C-like source text."""
+    if isinstance(e, Const):
+        if e.ty.is_float:
+            return repr(float(e.value))
+        return str(int(e.value))
+    if isinstance(e, Var):
+        return e.name
+    if isinstance(e, BinOp):
+        if e.op in ("min", "max"):
+            return f"{e.op}({expr_to_str(e.lhs)}, {expr_to_str(e.rhs)})"
+        sym = _BIN_SYMBOL[e.op]
+        lhs = expr_to_str(e.lhs)
+        rhs = expr_to_str(e.rhs)
+        if _prec(e.lhs) < _prec(e):
+            lhs = f"({lhs})"
+        if _prec(e.rhs) <= _prec(e):
+            rhs = f"({rhs})"
+        return f"{lhs} {sym} {rhs}"
+    if isinstance(e, UnOp):
+        sym = "-" if e.op == "neg" else "~"
+        inner = expr_to_str(e.operand)
+        if _prec(e.operand) < 10:
+            inner = f"({inner})"
+        return f"{sym}{inner}"
+    if isinstance(e, Load):
+        idx = "][".join(expr_to_str(i) for i in e.index)
+        return f"{e.array}[{idx}]"
+    if isinstance(e, Select):
+        return (f"({expr_to_str(e.cond)} ? {expr_to_str(e.iftrue)}"
+                f" : {expr_to_str(e.iffalse)})")
+    if isinstance(e, Cast):
+        return f"({e.ty}){expr_to_str(e.operand)}"
+    raise TypeError(f"unknown expression node {type(e).__name__}")
+
+
+def stmt_to_str(s: Stmt, indent: int = 0) -> str:
+    """Render a statement tree as C-like source text (trailing newline)."""
+    pad = "  " * indent
+    if isinstance(s, Assign):
+        return f"{pad}{s.var} = {expr_to_str(s.expr)};\n"
+    if isinstance(s, Store):
+        idx = "][".join(expr_to_str(i) for i in s.index)
+        return f"{pad}{s.array}[{idx}] = {expr_to_str(s.value)};\n"
+    if isinstance(s, Block):
+        return "".join(stmt_to_str(c, indent) for c in s.stmts)
+    if isinstance(s, For):
+        step = f"{s.var}++" if s.step == 1 else f"{s.var} += {s.step}"
+        head = (f"{pad}for ({s.var} = {expr_to_str(s.lo)}; "
+                f"{s.var} < {expr_to_str(s.hi)}; {step}) {{\n")
+        return head + stmt_to_str(s.body, indent + 1) + f"{pad}}}\n"
+    if isinstance(s, If):
+        out = f"{pad}if ({expr_to_str(s.cond)}) {{\n"
+        out += stmt_to_str(s.then, indent + 1)
+        if s.orelse.stmts:
+            out += f"{pad}}} else {{\n"
+            out += stmt_to_str(s.orelse, indent + 1)
+        return out + f"{pad}}}\n"
+    raise TypeError(f"unknown statement node {type(s).__name__}")
+
+
+def program_to_str(p: Program) -> str:
+    """Render a whole program: header comment, declarations, body."""
+    lines = [f"// program {p.name}"]
+    for name, ty in p.params.items():
+        lines.append(f"param {ty} {name};")
+    for a in p.arrays.values():
+        dims = "".join(f"[{d}]" for d in a.shape)
+        qual = "rom " if a.rom else ""
+        out = "  // output" if a.output else ""
+        lines.append(f"{qual}{a.ty} {a.name}{dims};{out}")
+    lines.append("")
+    lines.append(stmt_to_str(p.body).rstrip("\n"))
+    return "\n".join(lines) + "\n"

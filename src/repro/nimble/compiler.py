@@ -1,0 +1,200 @@
+"""End-to-end variant compilation — the Table 6.2 engine.
+
+For one kernel nest, produce the thesis's ten design points:
+
+* ``original``      — non-pipelined list schedule (II = iteration makespan);
+* ``pipelined``     — modulo schedule of the untransformed loop;
+* ``squash(DS)``    — DS-stage squash: same operators, stage-relaxed
+  dependence distances, shift-register chains;
+* ``jam(DS)``       — unroll-and-jam: the jammed program's inner loop is
+  re-analyzed, so operators (and memory traffic) scale with DS.
+
+Every schedule is validated by cycle-level replay
+(:mod:`repro.hw.simulate`) before being reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.analysis.loops import LoopNest, find_loop_nests, trip_count
+from repro.core.squash import analyze_nest, unroll_and_squash
+from repro.core.stages import register_chains
+from repro.errors import LegalityError, ScheduleError
+from repro.hw.area import operator_rows, registers_original, registers_pipelined
+from repro.hw.listsched import list_schedule
+from repro.hw.mii import squash_distances
+from repro.hw.modulo import modulo_schedule
+from repro.hw.report import DesignPoint
+from repro.hw.simulate import simulate_modulo, simulate_sequential
+from repro.ir.nodes import Program
+from repro.nimble.target import ACEV, Target
+
+__all__ = ["VariantSet", "compile_variants", "compile_original",
+           "compile_pipelined", "compile_squash", "compile_jam"]
+
+_VALIDATE_ITERS = 6
+
+
+@dataclass
+class VariantSet:
+    """All design points for one kernel (one Table 6.2 row group)."""
+
+    kernel: str
+    target: Target
+    original: DesignPoint
+    pipelined: DesignPoint
+    squash: dict[int, DesignPoint] = field(default_factory=dict)
+    jam: dict[int, DesignPoint] = field(default_factory=dict)
+
+    def all_points(self) -> list[DesignPoint]:
+        pts = [self.original, self.pipelined]
+        pts += [self.squash[k] for k in sorted(self.squash)]
+        pts += [self.jam[k] for k in sorted(self.jam)]
+        return pts
+
+
+def _base_analysis(program: Program, nest: LoopNest, target: Target):
+    """DFG + liveness of the untransformed inner loop (quick synthesis)."""
+    work, w_nest, ssa, dfg, sa, check = analyze_nest(
+        program, nest, 1, delay_fn=target.library.delay)
+    return work, w_nest, ssa, dfg, check
+
+
+def compile_original(program: Program, nest: LoopNest,
+                     target: Target = ACEV) -> DesignPoint:
+    """The non-pipelined baseline design."""
+    _, w_nest, ssa, dfg, check = _base_analysis(program, nest, target)
+    sched = list_schedule(dfg, target.library)
+    sim = simulate_sequential(dfg, target.library, sched, _VALIDATE_ITERS)
+    if not sim.ok:  # pragma: no cover - defensive
+        raise ScheduleError(f"original schedule invalid: {sim.violations[:2]}")
+    return DesignPoint(
+        kernel=program.name, variant="original", factor=1, ii=sched.length,
+        op_rows=operator_rows(dfg, target.library),
+        registers=registers_original(dfg), reg_rows=target.library.reg_rows,
+        rec_mii=0, res_mii=0,
+        outer_trip=check.outer_trip or 0, inner_trip=check.inner_trip or 0,
+        schedule_length=sched.length)
+
+
+def compile_pipelined(program: Program, nest: LoopNest,
+                      target: Target = ACEV) -> DesignPoint:
+    """Classic modulo-scheduled pipelining of the unmodified loop."""
+    _, w_nest, ssa, dfg, check = _base_analysis(program, nest, target)
+    sched = modulo_schedule(dfg, target.library)
+    sim = simulate_modulo(dfg, target.library, sched, _VALIDATE_ITERS)
+    if not sim.ok:  # pragma: no cover - defensive
+        raise ScheduleError(f"pipelined schedule invalid: {sim.violations[:2]}")
+    return DesignPoint(
+        kernel=program.name, variant="pipelined", factor=1, ii=sched.ii,
+        op_rows=operator_rows(dfg, target.library),
+        registers=registers_pipelined(dfg, target.library, sched),
+        reg_rows=target.library.reg_rows,
+        rec_mii=sched.rec_mii, res_mii=sched.res_mii,
+        outer_trip=check.outer_trip or 0, inner_trip=check.inner_trip or 0,
+        schedule_length=sched.length)
+
+
+def compile_squash(program: Program, nest: LoopNest, ds: int,
+                   target: Target = ACEV,
+                   base_ii: Optional[int] = None) -> DesignPoint:
+    """Unroll-and-squash by DS: shared operators, relaxed recurrences."""
+    res = unroll_and_squash(program, nest, ds,
+                            delay_fn=target.library.delay, emit=False)
+    edges = squash_distances(res.dfg, res.stages)
+    sched = modulo_schedule(res.dfg, target.library, edges=edges)
+    sim = simulate_modulo(res.dfg, target.library, sched, _VALIDATE_ITERS,
+                          edges=edges)
+    if not sim.ok:  # pragma: no cover - defensive
+        raise ScheduleError(f"squash schedule invalid: {sim.violations[:2]}")
+    return DesignPoint(
+        kernel=program.name, variant="squash", factor=ds, ii=sched.ii,
+        op_rows=operator_rows(res.dfg, target.library),
+        registers=max(res.chains.total_registers,
+                      registers_original(res.dfg)),
+        reg_rows=target.library.reg_rows,
+        rec_mii=sched.rec_mii, res_mii=sched.res_mii,
+        outer_trip=res.check.outer_trip or 0,
+        inner_trip=res.check.inner_trip or 0,
+        base_ii=base_ii, schedule_length=sched.length)
+
+
+def compile_jam(program: Program, nest: LoopNest, ds: int,
+                target: Target = ACEV,
+                base_ii: Optional[int] = None) -> DesignPoint:
+    """Unroll-and-jam by DS, then pipeline the fused inner loop."""
+    from repro.transforms.unroll_and_jam import unroll_and_jam
+
+    outer_trip = trip_count(nest.outer) or 0
+    inner_trip = trip_count(nest.inner) or 0
+    jammed = unroll_and_jam(program, nest, ds)
+    target_nest = None
+    for n in find_loop_nests(jammed):
+        if (n.outer.var == nest.outer.var
+                and n.outer.step == nest.outer.step * min(ds, outer_trip or ds)):
+            target_nest = n
+            break
+    if target_nest is None:
+        raise LegalityError("jammed nest not found")
+    _, w_nest, ssa, dfg, check = _base_analysis(jammed, target_nest, target)
+    sched = modulo_schedule(dfg, target.library)
+    sim = simulate_modulo(dfg, target.library, sched, _VALIDATE_ITERS)
+    if not sim.ok:  # pragma: no cover - defensive
+        raise ScheduleError(f"jam schedule invalid: {sim.violations[:2]}")
+    return DesignPoint(
+        kernel=program.name, variant="jam", factor=ds, ii=sched.ii,
+        op_rows=operator_rows(dfg, target.library),
+        registers=registers_pipelined(dfg, target.library, sched),
+        reg_rows=target.library.reg_rows,
+        rec_mii=sched.rec_mii, res_mii=sched.res_mii,
+        outer_trip=outer_trip, inner_trip=inner_trip,
+        base_ii=base_ii, schedule_length=sched.length)
+
+
+def compile_jam_squash(program: Program, nest: LoopNest, jam: int, ds: int,
+                       target: Target = ACEV,
+                       base_ii: Optional[int] = None) -> DesignPoint:
+    """The combined Ch. 2 transformation: jam by ``jam``, squash by ``ds``.
+
+    Operator count scales with ``jam``; the recurrence is then relaxed by
+    ``ds`` over the duplicated operators.
+    """
+    from repro.core.squash import jam_then_squash
+
+    outer_trip = trip_count(nest.outer) or 0
+    inner_trip = trip_count(nest.inner) or 0
+    res = jam_then_squash(program, nest, jam, ds,
+                          delay_fn=target.library.delay)
+    edges = squash_distances(res.dfg, res.stages)
+    sched = modulo_schedule(res.dfg, target.library, edges=edges)
+    return DesignPoint(
+        kernel=program.name, variant="jam+squash", factor=jam * ds,
+        ii=sched.ii,
+        op_rows=operator_rows(res.dfg, target.library),
+        registers=max(res.chains.total_registers,
+                      registers_original(res.dfg)),
+        reg_rows=target.library.reg_rows,
+        rec_mii=sched.rec_mii, res_mii=sched.res_mii,
+        outer_trip=outer_trip, inner_trip=inner_trip,
+        base_ii=base_ii, schedule_length=sched.length, squash_ds=ds)
+
+
+def compile_variants(program: Program, nest: Optional[LoopNest] = None,
+                     factors: Sequence[int] = (2, 4, 8, 16),
+                     target: Target = ACEV) -> VariantSet:
+    """Produce the full Table 6.2 row group for one kernel."""
+    if nest is None:
+        from repro.nimble.kernel import select_kernel
+        nest = select_kernel(program, ds_hint=min(factors)).nest
+    original = compile_original(program, nest, target)
+    pipelined = compile_pipelined(program, nest, target)
+    vs = VariantSet(kernel=program.name, target=target,
+                    original=original, pipelined=pipelined)
+    for ds in factors:
+        vs.squash[ds] = compile_squash(program, nest, ds, target,
+                                       base_ii=original.ii)
+        vs.jam[ds] = compile_jam(program, nest, ds, target,
+                                 base_ii=original.ii)
+    return vs

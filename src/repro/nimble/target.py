@@ -1,0 +1,59 @@
+"""Target platform descriptions (thesis §5.1).
+
+The Nimble Compiler is retargettable through an Architecture Description;
+we model the two properties the evaluation depends on — the operator
+cost library and the memory-bus width — plus a nominal clock for
+pretty-printing.  ``ACEV`` is the evaluation target of Chapter 6
+(Xilinx Virtex on a TSI Telsys ACE card, 2 memory references/cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.ops import ACEV_LIBRARY, GARP_LIBRARY, OperatorLibrary
+
+__all__ = ["Target", "ACEV", "GARP", "target_by_name"]
+
+
+@dataclass
+class Target:
+    """One reconfigurable platform the compiler can be pointed at."""
+
+    name: str
+    library: OperatorLibrary
+    clock_mhz: float = 40.0
+    description: str = ""
+
+    @property
+    def mem_ports(self) -> int:
+        return self.library.mem_ports
+
+    def with_mem_ports(self, ports: int) -> "Target":
+        return Target(f"{self.name}-p{ports}", self.library.with_ports(ports),
+                      self.clock_mhz, self.description)
+
+    def with_packed_registers(self, rows_per_register: float) -> "Target":
+        return Target(f"{self.name}-packed",
+                      self.library.with_packed_registers(rows_per_register),
+                      self.clock_mhz, self.description)
+
+
+ACEV = Target(
+    "acev", ACEV_LIBRARY, clock_mhz=40.0,
+    description="TSI Telsys ACE card + Xilinx Virtex XCV1000 "
+                "(two memory references per clock cycle)")
+
+GARP = Target(
+    "garp", GARP_LIBRARY, clock_mhz=133.0,
+    description="Berkeley GARP-like: MIPS core + reconfigurable array, "
+                "single memory bus")
+
+_TARGETS = {t.name: t for t in (ACEV, GARP)}
+
+
+def target_by_name(name: str) -> Target:
+    try:
+        return _TARGETS[name]
+    except KeyError:
+        raise KeyError(f"unknown target {name!r}; have {sorted(_TARGETS)}")

@@ -1,0 +1,73 @@
+"""Internal helpers shared by the loop-restructuring transforms.
+
+Transforms are pure (clone first), but their parameters reference loop
+nodes of the *original* program.  :func:`stmt_path`/:func:`stmt_at`
+relocate those nodes inside the clone by structural position.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import LegalityError
+from repro.ir.nodes import Block, For, If, Program, Stmt
+
+__all__ = ["stmt_path", "stmt_at", "find_in_clone", "parent_of"]
+
+PathStep = Union[int, str]
+
+
+def stmt_path(root: Stmt, target: Stmt) -> list[PathStep] | None:
+    """Structural path from ``root`` to ``target`` (None if absent)."""
+    if root is target:
+        return []
+    if isinstance(root, Block):
+        for k, c in enumerate(root.stmts):
+            sub = stmt_path(c, target)
+            if sub is not None:
+                return [k] + sub
+    elif isinstance(root, For):
+        sub = stmt_path(root.body, target)
+        if sub is not None:
+            return ["body"] + sub
+    elif isinstance(root, If):
+        sub = stmt_path(root.then, target)
+        if sub is not None:
+            return ["then"] + sub
+        sub = stmt_path(root.orelse, target)
+        if sub is not None:
+            return ["else"] + sub
+    return None
+
+
+def stmt_at(root: Stmt, path: list[PathStep]) -> Stmt:
+    """Navigate a structural path produced by :func:`stmt_path`."""
+    node: Stmt = root
+    for step in path:
+        if isinstance(step, int):
+            node = node.stmts[step]          # type: ignore[attr-defined]
+        elif step == "body":
+            node = node.body                 # type: ignore[attr-defined]
+        elif step == "then":
+            node = node.then                 # type: ignore[attr-defined]
+        else:
+            node = node.orelse               # type: ignore[attr-defined]
+    return node
+
+
+def find_in_clone(clone: Program, original: Program, target: Stmt) -> Stmt:
+    """Locate the clone's counterpart of a statement from the original."""
+    path = stmt_path(original.body, target)
+    if path is None:
+        raise LegalityError("target statement does not belong to the program")
+    return stmt_at(clone.body, path)
+
+
+def parent_of(program: Program, target: Stmt) -> tuple[Block, int]:
+    """The Block directly containing ``target`` and its index within it."""
+    path = stmt_path(program.body, target)
+    if path is None or not path or not isinstance(path[-1], int):
+        raise LegalityError("statement has no enclosing block")
+    parent = stmt_at(program.body, path[:-1])
+    assert isinstance(parent, Block)
+    return parent, path[-1]

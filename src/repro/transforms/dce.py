@@ -1,0 +1,109 @@
+"""Dead-code and unreachable-code elimination (thesis §4.2).
+
+Backward liveness drives removal of scalar assignments whose value can
+never be observed.  Structure-level cleanups:
+
+* ``if`` with a constant condition is replaced by the taken branch;
+* loops and conditionals whose bodies have no effects (no stores, no
+  live scalar writes) are dropped;
+* empty blocks are flattened away.
+
+Output arrays and all stores are considered observable; scalars are
+observable at program end only if listed in ``keep_live`` (the interpreter
+reports final scalar values, so tests pass the relevant names explicitly
+when needed).
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import (
+    Assign, Block, Const, For, If, Program, Stmt, Store,
+)
+from repro.analysis.usedef import uses_of_expr
+from repro.ir.visitors import clone_program
+
+__all__ = ["eliminate_dead_code"]
+
+
+def _has_effects(s: Stmt, live_after: set[str]) -> bool:
+    if isinstance(s, Store):
+        return True
+    if isinstance(s, Assign):
+        return s.var in live_after
+    if isinstance(s, Block):
+        return any(_has_effects(c, live_after) for c in s.stmts)
+    if isinstance(s, For):
+        return s.var in live_after or _has_effects(s.body, live_after | _writes(s.body))
+    if isinstance(s, If):
+        return _has_effects(s.then, live_after) or _has_effects(s.orelse, live_after)
+    return True
+
+
+def _writes(s: Stmt) -> set[str]:
+    from repro.ir.visitors import variables_written
+    return variables_written(s)
+
+
+def _sweep(s: Stmt, live: set[str]) -> tuple[Stmt | None, set[str]]:
+    """Rewrite ``s`` given variables live after it; returns (stmt-or-None,
+    live-before)."""
+    if isinstance(s, Assign):
+        if s.var not in live:
+            return None, live
+        out = (live - {s.var}) | uses_of_expr(s.expr)
+        return s, out
+    if isinstance(s, Store):
+        return s, live | uses_of_expr(s.value) | \
+            set().union(*(uses_of_expr(i) for i in s.index))
+    if isinstance(s, Block):
+        new: list[Stmt] = []
+        cur = set(live)
+        for c in reversed(s.stmts):
+            kept, cur = _sweep(c, cur)
+            if kept is not None:
+                new.append(kept)
+        new.reverse()
+        return (Block(new) if new else None), cur
+    if isinstance(s, If):
+        if isinstance(s.cond, Const):
+            taken = s.then if s.cond.value else s.orelse
+            return _sweep(taken, live)
+        t, lt = _sweep(s.then, set(live))
+        e, le = _sweep(s.orelse, set(live))
+        if t is None and e is None:
+            return None, live
+        node = If(s.cond, t if isinstance(t, Block) else Block([t] if t else []),
+                  e if isinstance(e, Block) else Block([e] if e else []))
+        return node, lt | le | uses_of_expr(s.cond)
+    if isinstance(s, For):
+        # fixpoint over the backedge: keep widening the live set until the
+        # body's live-in stabilizes (recurrence chains like z1 <- z2 need
+        # one round per link)
+        body_writes = _writes(s.body)
+        live_in_loop = set(live)
+        while True:
+            _, first = _sweep(s.body, set(live_in_loop))
+            if first <= live_in_loop:
+                break
+            live_in_loop |= first
+        body, live_body = _sweep(s.body, set(live_in_loop))
+        if body is None or not _has_effects(body, live_in_loop):
+            if s.var not in live:
+                return None, live
+        keep_body = body if isinstance(body, Block) else Block([])
+        out = ((live | live_body) - {s.var}) | uses_of_expr(s.lo) | \
+            uses_of_expr(s.hi)
+        return For(s.var, s.lo, s.hi, keep_body, s.step, dict(s.annotations)), out
+    raise TypeError(f"unknown statement {type(s).__name__}")
+
+
+def eliminate_dead_code(p: Program, keep_live: set[str] = frozenset()) -> Program:
+    """Dead-code elimination pass.
+
+    ``keep_live`` names scalars whose final values must be preserved
+    (e.g. because a caller inspects ``ExecutionResult.scalars``).
+    """
+    q = clone_program(p)
+    body, _ = _sweep(q.body, set(keep_live))
+    q.body = body if isinstance(body, Block) else Block([body] if body else [])
+    return q

@@ -1,0 +1,75 @@
+"""Loop fusion (thesis §3.4).
+
+Merges two adjacent counted loops with structurally identical bounds and
+step into one.  The standalone legality check is conservative:
+
+* no array written by either loop may be accessed by the other (any
+  cross-loop element flow would be reordered);
+* no scalar written by the first loop may be read by the second (and
+  vice versa), except the shared induction variable.
+
+``unroll_and_jam`` performs its own (dependence-based) legality check and
+calls fusion with ``unchecked=True``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LegalityError
+from repro.ir.nodes import Block, For, Program, Var
+from repro.ir.visitors import (
+    arrays_read, arrays_written, clone_program, clone_stmt,
+    structurally_equal, substitute, variables_read, variables_written,
+)
+from repro.transforms._util import find_in_clone, parent_of
+
+__all__ = ["fuse_loops", "can_fuse"]
+
+
+def can_fuse(a: For, b: For) -> list[str]:
+    """Reasons the conservative checker refuses to fuse (empty = OK)."""
+    reasons = []
+    if not (structurally_equal(a.lo, b.lo) and structurally_equal(a.hi, b.hi)
+            and a.step == b.step):
+        reasons.append("loop bounds/steps differ")
+    w1, w2 = arrays_written(a.body), arrays_written(b.body)
+    r1, r2 = arrays_read(a.body), arrays_read(b.body)
+    if w1 & (r2 | w2):
+        reasons.append(f"array flow between loops: {sorted(w1 & (r2 | w2))}")
+    if w2 & r1:
+        reasons.append(f"array anti-dependence between loops: {sorted(w2 & r1)}")
+    s1 = variables_written(a.body) - {a.var}
+    s2r = variables_read(b.body) - {b.var}
+    if s1 & s2r:
+        reasons.append(f"scalar flow between loops: {sorted(s1 & s2r)}")
+    s2 = variables_written(b.body) - {b.var}
+    s1r = variables_read(a.body) - {a.var}
+    if s2 & s1r:
+        reasons.append(f"scalar anti-dependence between loops: {sorted(s2 & s1r)}")
+    return reasons
+
+
+def fuse_loops(program: Program, first: For, second: For,
+               unchecked: bool = False) -> Program:
+    """Fuse two adjacent loops into one (see module docstring)."""
+    q = clone_program(program)
+    a: For = find_in_clone(q, program, first)   # type: ignore[assignment]
+    b: For = find_in_clone(q, program, second)  # type: ignore[assignment]
+    block, idx = parent_of(q, a)
+    if idx + 1 >= len(block.stmts) or block.stmts[idx + 1] is not b:
+        raise LegalityError("loops to fuse must be adjacent in one block")
+    if not unchecked:
+        reasons = can_fuse(a, b)
+        if reasons:
+            raise LegalityError("fusion rejected", reasons)
+    elif not (structurally_equal(a.lo, b.lo) and structurally_equal(a.hi, b.hi)
+              and a.step == b.step):
+        raise LegalityError("fusion requires identical bounds and step")
+
+    body2 = clone_stmt(b.body)
+    if b.var != a.var:
+        body2 = substitute(body2, {b.var: Var(a.var, a.lo.ty)})
+    fused = For(a.var, a.lo, a.hi,
+                Block(list(clone_stmt(a.body).stmts) + list(body2.stmts)),
+                a.step, {**b.annotations, **a.annotations})
+    block.stmts[idx:idx + 2] = [fused]
+    return q

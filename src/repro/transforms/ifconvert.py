@@ -1,0 +1,111 @@
+"""If-conversion (thesis §4.2).
+
+Rewrites structured conditionals whose branches are pure scalar
+assignments into straight-line ``Select`` code, which is what makes an
+inner loop a single basic block — one of the squash requirements::
+
+    if (c) { x = e1; y = e2; } else { x = e3; }
+      ==>
+    x = select(c, e1', x);  y = select(c, e2', y)     (symbolically composed)
+
+Branch bodies may chain assignments (later ones see earlier ones); the
+pass composes them symbolically with substitution.  Conditionals
+containing stores, loops, or nested ifs that cannot themselves be
+converted are left in place.  Division inside a branch blocks conversion
+(both arms of a select are evaluated).
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import (
+    Assign, BinOp, Block, Expr, For, If, Program, Select, Stmt, Var,
+)
+from repro.ir.visitors import clone_expr, clone_program, map_exprs, walk_exprs
+
+__all__ = ["if_convert"]
+
+
+def _branch_effects(block: Block) -> dict[str, Expr] | None:
+    """Final symbolic value per assigned scalar, or None if not convertible."""
+    env: dict[str, Expr] = {}
+
+    def subst(e: Expr) -> Expr:
+        def fn(node: Expr) -> Expr:
+            if isinstance(node, Var) and node.name in env:
+                return clone_expr(env[node.name])
+            return node
+        return map_exprs(Assign("_", e), fn).expr
+
+    for s in block.stmts:
+        if not isinstance(s, Assign):
+            return None
+        e = subst(s.expr)
+        for node in walk_exprs(e):
+            if isinstance(node, BinOp) and node.op in ("div", "mod"):
+                return None   # must not execute the untaken arm's division
+        env[s.var] = e
+    return env
+
+
+def _convert_if(s: If, scalar_type) -> list[Stmt] | None:
+    then_env = _branch_effects(s.then)
+    else_env = _branch_effects(s.orelse)
+    if then_env is None or else_env is None:
+        return None
+    cond = s.cond
+    out: list[Stmt] = []
+    names = list(dict.fromkeys(list(then_env) + list(else_env)))
+    # multiple targets must not read each other after conversion: selects are
+    # emitted in parallel form using temporaries when a later target's arm
+    # reads an earlier target.
+    written = set(names)
+    needs_temp = any(
+        any(isinstance(n, Var) and n.name in written for n in
+            list(walk_exprs(then_env.get(v, Var(v, scalar_type(v)))))
+            + list(walk_exprs(else_env.get(v, Var(v, scalar_type(v))))))
+        for v in names)
+    temp_map: dict[str, str] = {}
+    if needs_temp:
+        for v in names:
+            temp_map[v] = f"{v}__ifc"
+    for v in names:
+        ty = scalar_type(v)
+        t_val = then_env.get(v, Var(v, ty))
+        f_val = else_env.get(v, Var(v, ty))
+        sel = Select(clone_expr(cond), t_val, f_val)
+        out.append(Assign(temp_map.get(v, v), sel))
+    for v in names:
+        if v in temp_map:
+            out.append(Assign(v, Var(temp_map[v], scalar_type(v))))
+    return out
+
+
+def if_convert(p: Program) -> Program:
+    """If-conversion pass (innermost conditionals first)."""
+    q = clone_program(p)
+
+    def visit(b: Block) -> None:
+        new: list[Stmt] = []
+        for s in b.stmts:
+            if isinstance(s, If):
+                visit(s.then)
+                visit(s.orelse)
+                conv = _convert_if(s, q.scalar_type)
+                if conv is not None:
+                    for st in conv:
+                        if isinstance(st, Assign) and st.var not in q.locals \
+                                and st.var not in q.params:
+                            q.declare_local(st.var, q.scalar_type(
+                                st.var.removesuffix("__ifc")))
+                    new.extend(conv)
+                    continue
+                new.append(s)
+            elif isinstance(s, For):
+                visit(s.body)
+                new.append(s)
+            else:
+                new.append(s)
+        b.stmts = new
+
+    visit(q.body)
+    return q

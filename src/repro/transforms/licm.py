@@ -1,0 +1,104 @@
+"""Loop-invariant code motion (thesis §4.2).
+
+Hoists scalar assignments out of a loop when provably safe:
+
+* the statement is a direct child of the loop body (executes once per
+  iteration, unconditionally);
+* its expression reads only loop-invariant scalars (not written anywhere
+  in the body, and not the IV) and loads only from arrays the loop never
+  stores to, with loop-invariant subscripts;
+* the target is written exactly once in the body and is **not** read
+  before that write in the body (otherwise iteration 1 would observe the
+  pre-loop value);
+* the loop provably executes at least once (constant trip >= 1), so
+  hoisting cannot introduce an assignment that never happened.
+
+Expressions containing division are not hoisted (a zero divisor inside a
+zero-trip conditional path must not start trapping).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.loops import all_loops, trip_count
+from repro.analysis.usedef import uses_of_expr
+from repro.ir.nodes import (
+    Assign, BinOp, Block, Expr, For, Load, Program, Stmt,
+)
+from repro.ir.visitors import (
+    arrays_written, clone_program, variables_read, variables_written,
+    walk_exprs, walk_stmts,
+)
+
+__all__ = ["hoist_invariants"]
+
+
+def _expr_invariant(e: Expr, body_writes: set[str], stored_arrays: set[str],
+                    iv: str) -> bool:
+    for node in walk_exprs(e):
+        if isinstance(node, BinOp) and node.op in ("div", "mod"):
+            return False
+        if isinstance(node, Load) and node.array in stored_arrays:
+            return False
+    reads = uses_of_expr(e)
+    return not (reads & (body_writes | {iv}))
+
+
+def _hoist_from(loop: For) -> list[Stmt]:
+    """Remove hoistable assigns from ``loop`` body; return them in order."""
+    if (trip_count(loop) or 0) < 1:
+        return []
+    body_writes = variables_written(loop.body)
+    stored = arrays_written(loop.body)
+
+    write_counts: dict[str, int] = {}
+    for s in walk_stmts(loop.body):
+        if isinstance(s, (Assign,)):
+            write_counts[s.var] = write_counts.get(s.var, 0) + 1
+        elif isinstance(s, For):
+            write_counts[s.var] = write_counts.get(s.var, 0) + 1
+
+    hoisted: list[Stmt] = []
+    remaining: list[Stmt] = []
+    moved: set[str] = set()
+    seen_reads: set[str] = set()
+    for s in loop.body.stmts:
+        can = (isinstance(s, Assign)
+               and write_counts.get(s.var, 0) == 1
+               and s.var not in seen_reads
+               and _expr_invariant(s.expr, body_writes - moved, stored, loop.var))
+        if can:
+            hoisted.append(s)
+            moved.add(s.var)
+        else:
+            remaining.append(s)
+        seen_reads |= variables_read(s)
+    loop.body.stmts = remaining
+    return hoisted
+
+
+def hoist_invariants(p: Program) -> Program:
+    """LICM pass over every loop, innermost first."""
+    q = clone_program(p)
+
+    def visit(s: Stmt) -> None:
+        if isinstance(s, Block):
+            k = 0
+            while k < len(s.stmts):
+                c = s.stmts[k]
+                if isinstance(c, For):
+                    visit(c.body)
+                    pre = _hoist_from(c)
+                    if pre:
+                        s.stmts[k:k] = pre
+                        k += len(pre)
+                elif isinstance(c, Block):
+                    visit(c)
+                else:
+                    from repro.ir.nodes import If
+                    if isinstance(c, If):
+                        visit(c.then)
+                        visit(c.orelse)
+                k += 1
+
+    visit(q.body)
+    return q

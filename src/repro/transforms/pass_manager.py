@@ -1,0 +1,66 @@
+"""Minimal pass infrastructure.
+
+Transforms are functions ``Program -> Program`` (pure; inputs are never
+mutated — every pass clones first).  :class:`PassManager` sequences them
+and can iterate a cleanup pipeline to a fixpoint, which is how the Nimble
+front-end chained its standard optimizations before unroll-and-squash
+(thesis §4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.ir.nodes import Program
+from repro.ir.visitors import structurally_equal
+
+__all__ = ["Pass", "PassManager", "fixpoint"]
+
+PassFn = Callable[[Program], Program]
+
+
+@dataclass
+class Pass:
+    """A named transformation."""
+
+    name: str
+    fn: PassFn
+
+    def __call__(self, p: Program) -> Program:
+        return self.fn(p)
+
+
+@dataclass
+class PassManager:
+    """Runs a pipeline of passes, optionally to a fixpoint."""
+
+    passes: list[Pass] = field(default_factory=list)
+    max_iterations: int = 8
+
+    def add(self, name: str, fn: PassFn) -> "PassManager":
+        self.passes.append(Pass(name, fn))
+        return self
+
+    def run(self, p: Program) -> Program:
+        for ps in self.passes:
+            p = ps(p)
+        return p
+
+    def run_to_fixpoint(self, p: Program) -> Program:
+        for _ in range(self.max_iterations):
+            q = self.run(p)
+            if structurally_equal(q.body, p.body):
+                return q
+            p = q
+        return p
+
+
+def fixpoint(fn: PassFn, p: Program, limit: int = 8) -> Program:
+    """Iterate one pass until the program stops changing."""
+    for _ in range(limit):
+        q = fn(p)
+        if structurally_equal(q.body, p.body):
+            return q
+        p = q
+    return p

@@ -1,0 +1,72 @@
+"""Loop peeling (thesis §4.2).
+
+Executes the first or last ``k`` iterations of a counted loop as
+straight-line copies so the remaining loop has a trip count divisible by
+an unroll factor — exactly how the thesis handles ``M mod DS != 0``
+("loop peeling may be used, that is, M mod DS iterations of the outer
+loop may be executed independently").
+"""
+
+from __future__ import annotations
+
+from repro.analysis.loops import trip_count
+from repro.errors import LegalityError
+from repro.ir.nodes import Block, Const, For, Program, Stmt
+from repro.ir.visitors import clone_program, clone_stmt, substitute
+from repro.transforms._util import find_in_clone, parent_of
+
+__all__ = ["peel_front", "peel_back", "peeled_copies"]
+
+
+def peeled_copies(loop: For, iterations: list[int]) -> list[Stmt]:
+    """Straight-line body copies for the given absolute IV values."""
+    out: list[Stmt] = []
+    for v in iterations:
+        body = clone_stmt(loop.body)
+        body = substitute(body, {loop.var: Const(v, loop.lo.ty)})
+        out.extend(body.stmts)
+    return out
+
+
+def _peel(program: Program, loop: For, k: int, front: bool) -> Program:
+    q = clone_program(program)
+    target: For = find_in_clone(q, program, loop)  # type: ignore[assignment]
+    trip = trip_count(target)
+    if trip is None:
+        raise LegalityError("peeling requires a constant trip count")
+    if k < 0 or k > trip:
+        raise LegalityError(f"cannot peel {k} of {trip} iterations")
+    if k == 0:
+        return q
+    lo = int(target.lo.value)        # type: ignore[union-attr]
+    step = target.step
+    if front:
+        ivs = [lo + i * step for i in range(k)]
+        rest = For(target.var, Const(lo + k * step, target.lo.ty),
+                   clone_stmt_expr(target.hi), clone_stmt(target.body),
+                   step, dict(target.annotations))
+        replacement = peeled_copies(target, ivs) + ([rest] if k < trip else [])
+    else:
+        ivs = [lo + i * step for i in range(trip - k, trip)]
+        rest = For(target.var, clone_stmt_expr(target.lo),
+                   Const(lo + (trip - k) * step, target.hi.ty),
+                   clone_stmt(target.body), step, dict(target.annotations))
+        replacement = ([rest] if k < trip else []) + peeled_copies(target, ivs)
+    block, idx = parent_of(q, target)
+    block.stmts[idx:idx + 1] = replacement
+    return q
+
+
+def clone_stmt_expr(e):
+    from repro.ir.visitors import clone_expr
+    return clone_expr(e)
+
+
+def peel_front(program: Program, loop: For, k: int) -> Program:
+    """Peel the first ``k`` iterations before the loop."""
+    return _peel(program, loop, k, front=True)
+
+
+def peel_back(program: Program, loop: For, k: int) -> Program:
+    """Peel the last ``k`` iterations after the loop."""
+    return _peel(program, loop, k, front=False)

@@ -1,0 +1,112 @@
+"""Constant and copy propagation (thesis §4.2).
+
+A forward pass over each block that tracks, per scalar, a known constant
+or a copy-of relationship, and rewrites reads.  The lattice is flushed
+conservatively at control-flow joins:
+
+* entering a loop body invalidates everything the body may write;
+* after an ``if``, only facts identical on both branches survive;
+* a copy fact ``x -> y`` dies when either side is redefined.
+
+Array loads are never propagated (stores may intervene).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.ir.nodes import (
+    Assign, Block, Const, Expr, For, If, Program, Stmt, Store, Var,
+)
+from repro.ir.visitors import clone_program, map_exprs, variables_written
+
+__all__ = ["propagate"]
+
+Fact = Union[Const, Var]  # known constant or copy source
+
+
+class _Env:
+    def __init__(self):
+        self.facts: dict[str, Fact] = {}
+
+    def copy(self) -> "_Env":
+        e = _Env()
+        e.facts = dict(self.facts)
+        return e
+
+    def kill(self, name: str) -> None:
+        self.facts.pop(name, None)
+        for k in [k for k, v in self.facts.items()
+                  if isinstance(v, Var) and v.name == name]:
+            del self.facts[k]
+
+    def merge(self, other: "_Env") -> "_Env":
+        out = _Env()
+        for k, v in self.facts.items():
+            w = other.facts.get(k)
+            if w is None:
+                continue
+            if (isinstance(v, Const) and isinstance(w, Const)
+                    and v.value == w.value and v.ty is w.ty):
+                out.facts[k] = v
+            elif isinstance(v, Var) and isinstance(w, Var) and v.name == w.name:
+                out.facts[k] = v
+        return out
+
+
+def _rewrite(e: Expr, env: _Env) -> Expr:
+    def fn(node: Expr) -> Expr:
+        if isinstance(node, Var):
+            fact = env.facts.get(node.name)
+            if isinstance(fact, Const):
+                return Const(fact.value, fact.ty)
+            if isinstance(fact, Var):
+                return Var(fact.name, fact.ty)
+        return node
+    return map_exprs(Assign("_", e), fn).expr
+
+
+def _walk(s: Stmt, env: _Env, types) -> Stmt:
+    if isinstance(s, Assign):
+        new_expr = _rewrite(s.expr, env)
+        env.kill(s.var)
+        ty = types(s.var)
+        if isinstance(new_expr, Const):
+            # the stored fact reflects the assignment's wrap to the local type
+            from repro.ir.interp import cast_value
+            env.facts[s.var] = Const(cast_value(new_expr.value, ty), ty)
+        elif isinstance(new_expr, Var) and new_expr.ty is ty:
+            env.facts[s.var] = Var(new_expr.name, new_expr.ty)
+        return Assign(s.var, new_expr)
+    if isinstance(s, Store):
+        return Store(s.array, tuple(_rewrite(i, env) for i in s.index),
+                     _rewrite(s.value, env))
+    if isinstance(s, Block):
+        return Block([_walk(c, env, types) for c in s.stmts])
+    if isinstance(s, If):
+        cond = _rewrite(s.cond, env)
+        env_t = env.copy()
+        env_f = env.copy()
+        then = _walk(s.then, env_t, types)
+        orelse = _walk(s.orelse, env_f, types)
+        merged = env_t.merge(env_f)
+        env.facts = merged.facts
+        return If(cond, then, orelse)
+    if isinstance(s, For):
+        lo = _rewrite(s.lo, env)
+        hi = _rewrite(s.hi, env)
+        for name in variables_written(s.body) | {s.var}:
+            env.kill(name)
+        body_env = env.copy()
+        body = _walk(s.body, body_env, types)
+        for name in variables_written(s.body) | {s.var}:
+            env.kill(name)
+        return For(s.var, lo, hi, body, s.step, dict(s.annotations))
+    raise TypeError(f"unknown statement {type(s).__name__}")
+
+
+def propagate(p: Program) -> Program:
+    """Constant + copy propagation pass."""
+    q = clone_program(p)
+    q.body = _walk(q.body, _Env(), q.scalar_type)
+    return q

@@ -1,0 +1,106 @@
+"""Constant folding and algebraic simplification (thesis §4.2).
+
+Folds operations on constants using the interpreter's own scalar
+semantics (so folding can never disagree with execution) and applies the
+usual identities::
+
+    x+0, 0+x, x-0, x*1, 1*x, x*0, 0*x, x&0, x|0, x^0, x<<0, x>>0,
+    x/1, x%1, select(const, a, b), cast of const
+
+Runs bottom-up over every expression in the program.
+"""
+
+from __future__ import annotations
+
+from repro.ir.interp import cast_value, eval_binop
+from repro.errors import InterpError
+from repro.ir.nodes import (
+    BinOp, Cast, Const, Expr, Program, Select, UnOp,
+)
+from repro.ir.visitors import clone_program, map_exprs
+
+__all__ = ["fold_constants", "simplify_expr"]
+
+
+def _is_const(e: Expr, value=None) -> bool:
+    if not isinstance(e, Const):
+        return False
+    return value is None or e.value == value
+
+
+def simplify_expr(e: Expr) -> Expr:
+    """Simplify one (already children-simplified) expression node."""
+    if isinstance(e, BinOp):
+        lhs, rhs = e.lhs, e.rhs
+        if isinstance(lhs, Const) and isinstance(rhs, Const):
+            try:
+                return Const(eval_binop(e.op, lhs.value, rhs.value, e.ty), e.ty)
+            except InterpError:
+                return e  # division by constant zero: leave for runtime
+        op = e.op
+        if op == "add":
+            if _is_const(rhs, 0):
+                return _retyped(lhs, e)
+            if _is_const(lhs, 0):
+                return _retyped(rhs, e)
+        elif op == "sub":
+            if _is_const(rhs, 0):
+                return _retyped(lhs, e)
+        elif op == "mul":
+            if _is_const(rhs, 1):
+                return _retyped(lhs, e)
+            if _is_const(lhs, 1):
+                return _retyped(rhs, e)
+            if _is_const(rhs, 0) or _is_const(lhs, 0):
+                return Const(0, e.ty)
+        elif op == "and":
+            if _is_const(rhs, 0) or _is_const(lhs, 0):
+                return Const(0, e.ty)
+            full = e.ty.mask
+            if _is_const(rhs, full):
+                return _retyped(lhs, e)
+            if _is_const(lhs, full):
+                return _retyped(rhs, e)
+        elif op == "or" or op == "xor":
+            if _is_const(rhs, 0):
+                return _retyped(lhs, e)
+            if _is_const(lhs, 0):
+                return _retyped(rhs, e)
+        elif op in ("shl", "shr"):
+            if _is_const(rhs, 0):
+                return _retyped(lhs, e)
+        elif op == "div":
+            if _is_const(rhs, 1):
+                return _retyped(lhs, e)
+        elif op == "mod":
+            if _is_const(rhs, 1) and not e.ty.is_float:
+                return Const(0, e.ty)
+        return e
+    if isinstance(e, UnOp) and isinstance(e.operand, Const):
+        v = e.operand.value
+        return Const(-v if e.op == "neg" else ~int(v), e.ty)
+    if isinstance(e, Select) and isinstance(e.cond, Const):
+        chosen = e.iftrue if e.cond.value else e.iffalse
+        return _retyped(chosen, e)
+    if isinstance(e, Cast):
+        if isinstance(e.operand, Const):
+            return Const(cast_value(e.operand.value, e.ty), e.ty)
+        if e.operand.ty is e.ty:
+            return e.operand
+    return e
+
+
+def _retyped(inner: Expr, outer: Expr) -> Expr:
+    """Replace ``outer`` by ``inner``, preserving the result type."""
+    if inner.ty is outer.ty:
+        return inner
+    if isinstance(inner, Const):
+        return Const(cast_value(inner.value, outer.ty), outer.ty)
+    return Cast(inner, outer.ty)
+
+
+def fold_constants(p: Program) -> Program:
+    """Program-level constant folding + algebraic simplification pass."""
+    q = clone_program(p)
+    q.body = map_exprs(q.body, simplify_expr)
+    return q

@@ -1,0 +1,56 @@
+"""Strength reduction (thesis §4.2).
+
+Replaces expensive integer operators by cheaper ones so the hardware
+operator library maps them to smaller rows:
+
+* ``x * 2^k``  ->  ``x << k`` (both operand orders)
+* ``x / 2^k``  ->  ``x >> k`` (unsigned operands only — C division of
+  negatives truncates toward zero, an arithmetic shift would floor)
+* ``x % 2^k``  ->  ``x & (2^k - 1)`` (unsigned only)
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import BinOp, Cast, Const, Expr, Program
+from repro.ir.visitors import clone_program, map_exprs
+
+__all__ = ["strength_reduce"]
+
+
+def _log2(v: int) -> int | None:
+    if v > 0 and (v & (v - 1)) == 0:
+        return v.bit_length() - 1
+    return None
+
+
+def _reduce(e: Expr) -> Expr:
+    if not isinstance(e, BinOp) or e.ty.is_float:
+        return e
+    # shifts/masks compute in the *operand's* width, so only reduce when the
+    # operand type already equals the expression's result type (otherwise a
+    # narrow shift would wrap where the wide multiply would not).
+    if e.op == "mul":
+        for a, b in ((e.lhs, e.rhs), (e.rhs, e.lhs)):
+            if isinstance(b, Const) and a.ty is e.ty:
+                k = _log2(int(b.value))
+                if k is not None:
+                    return BinOp("shl", a, Const(k, b.ty))
+    elif (e.op == "div" and isinstance(e.rhs, Const)
+          and not e.lhs.ty.signed and e.lhs.ty is e.ty):
+        k = _log2(int(e.rhs.value))
+        if k is not None:
+            return BinOp("shr", e.lhs, Const(k, e.rhs.ty))
+    elif (e.op == "mod" and isinstance(e.rhs, Const)
+          and not e.lhs.ty.signed and e.lhs.ty is e.ty):
+        v = int(e.rhs.value)
+        k = _log2(v)
+        if k is not None:
+            return BinOp("and", e.lhs, Const(v - 1, e.lhs.ty))
+    return e
+
+
+def strength_reduce(p: Program) -> Program:
+    """Strength-reduction pass."""
+    q = clone_program(p)
+    q.body = map_exprs(q.body, _reduce)
+    return q

@@ -1,0 +1,117 @@
+"""Three-address lowering of straight-line blocks.
+
+The squash pipeline flattens the inner loop body so every statement holds
+at most one operator (the thesis's "temporary delay variables" for
+expressions split across pipeline registers, §4.3/§5.3)::
+
+    a = (c & 15) * k;     ==>     t0 = c & 15;  a = t0 * k;
+
+Lowering is local to one block; fresh temporaries are registered as
+program locals with the operator's result type.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LegalityError
+from repro.ir.nodes import (
+    Assign, BinOp, Block, Cast, Const, Expr, Load, Program, Select, Stmt,
+    Store, UnOp, Var,
+)
+
+__all__ = ["lower_block_to_3ac", "is_three_address"]
+
+
+def _is_leaf(e: Expr) -> bool:
+    return isinstance(e, (Var, Const))
+
+
+def _is_simple(e: Expr) -> bool:
+    """One operator over leaves (or a plain leaf)."""
+    if _is_leaf(e):
+        return True
+    if isinstance(e, (BinOp,)):
+        return _is_leaf(e.lhs) and _is_leaf(e.rhs)
+    if isinstance(e, UnOp):
+        return _is_leaf(e.operand)
+    if isinstance(e, Cast):
+        return _is_leaf(e.operand)
+    if isinstance(e, Load):
+        return all(_is_leaf(i) for i in e.index)
+    if isinstance(e, Select):
+        return all(_is_leaf(x) for x in (e.cond, e.iftrue, e.iffalse))
+    return False
+
+
+def is_three_address(block: Block) -> bool:
+    """True when every statement holds at most one operator."""
+    for s in block.stmts:
+        if isinstance(s, Assign):
+            if not _is_simple(s.expr):
+                return False
+        elif isinstance(s, Store):
+            if not (all(_is_leaf(i) for i in s.index) and _is_leaf(s.value)):
+                return False
+        else:
+            return False
+    return True
+
+
+class _Lowerer:
+    def __init__(self, program: Program, prefix: str):
+        self.program = program
+        self.prefix = prefix
+        self.counter = 0
+        self.out: list[Stmt] = []
+
+    def temp(self, e: Expr) -> Var:
+        name = f"{self.prefix}{self.counter}"
+        self.counter += 1
+        while name in self.program.locals or name in self.program.params:
+            name = f"{self.prefix}{self.counter}"
+            self.counter += 1
+        self.program.declare_local(name, e.ty)
+        self.out.append(Assign(name, e))
+        return Var(name, e.ty)
+
+    def leaf(self, e: Expr) -> Expr:
+        """Lower to a leaf (introducing temps for compound subtrees)."""
+        if _is_leaf(e):
+            return e
+        return self.temp(self.simple(e))
+
+    def simple(self, e: Expr) -> Expr:
+        """Lower to a single operator over leaves."""
+        if _is_leaf(e):
+            return e
+        if isinstance(e, BinOp):
+            return BinOp(e.op, self.leaf(e.lhs), self.leaf(e.rhs))
+        if isinstance(e, UnOp):
+            return UnOp(e.op, self.leaf(e.operand))
+        if isinstance(e, Cast):
+            return Cast(self.leaf(e.operand), e.ty)
+        if isinstance(e, Load):
+            return Load(e.array, tuple(self.leaf(i) for i in e.index), e.ty)
+        if isinstance(e, Select):
+            return Select(self.leaf(e.cond), self.leaf(e.iftrue),
+                          self.leaf(e.iffalse))
+        raise LegalityError(f"cannot lower {type(e).__name__} to 3AC")
+
+
+def lower_block_to_3ac(program: Program, block: Block,
+                       prefix: str = "t3_") -> Block:
+    """Lower a straight-line block to three-address form (returns new block).
+
+    Fresh temporaries are declared on ``program``.
+    """
+    lw = _Lowerer(program, prefix)
+    for s in block.stmts:
+        if isinstance(s, Assign):
+            lw.out.append(Assign(s.var, lw.simple(s.expr)))
+        elif isinstance(s, Store):
+            lw.out.append(Store(s.array, tuple(lw.leaf(i) for i in s.index),
+                                lw.leaf(s.value)))
+        else:
+            raise LegalityError(
+                "3AC lowering requires a straight-line block "
+                f"(found {type(s).__name__})")
+    return Block(lw.out)

@@ -1,0 +1,51 @@
+"""Loop tiling (thesis §3.3).
+
+Tiles one counted loop into a tile loop / intra-tile pair::
+
+    for (i = lo; i < hi; i += s)            for (ii = lo; ii < hi; ii += S*s)
+        body(i)                     ==>         for (i = ii; i < min(ii+S*s, hi); i += s)
+                                                    body(i)
+
+When the trip count is a constant multiple of the tile size the ``min``
+is dropped and the inner loop has a constant trip count — the form the
+unroll-and-squash/jam pipeline builds on (tiling the outer loop by DS and
+fully unrolling the tile is the thesis's alternative derivation of
+unroll-and-jam, §3.4).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.loops import trip_count
+from repro.errors import LegalityError
+from repro.ir.nodes import BinOp, Block, Const, For, Program, Var
+from repro.ir.visitors import clone_expr, clone_program, clone_stmt
+from repro.transforms._util import find_in_clone, parent_of
+
+__all__ = ["tile_loop"]
+
+
+def tile_loop(program: Program, loop: For, size: int,
+              tile_var: str | None = None) -> Program:
+    """Tile ``loop`` with ``size`` iterations per tile."""
+    if size < 1:
+        raise LegalityError("tile size must be >= 1")
+    q = clone_program(program)
+    target: For = find_in_clone(q, program, loop)  # type: ignore[assignment]
+    tv = tile_var or q.fresh_name(f"{target.var}{target.var}")
+    q.declare_local(tv, target.lo.ty)
+
+    span = size * target.step
+    trip = trip_count(target)
+    exact = trip is not None and trip % size == 0
+
+    inner_hi = BinOp("add", Var(tv, target.lo.ty), Const(span, target.lo.ty))
+    if not exact:
+        inner_hi = BinOp("min", inner_hi, clone_expr(target.hi))
+    inner = For(target.var, Var(tv, target.lo.ty), inner_hi,
+                clone_stmt(target.body), target.step, dict(target.annotations))
+    outer = For(tv, clone_expr(target.lo), clone_expr(target.hi),
+                Block([inner]), span)
+
+    block, idx = parent_of(q, target)
+    block.stmts[idx] = outer
+    return q

@@ -1,0 +1,88 @@
+"""Loop unrolling (thesis §3.4).
+
+``unroll_loop`` replaces a counted loop's body by ``factor`` copies, each
+operating on a consecutive iteration.  Remainder iterations (when the
+trip count is not a multiple of the factor) are peeled into a tail loop,
+so the transform is always semantics-preserving.  ``factor >= trip``
+fully unrolls.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.loops import trip_count
+from repro.errors import LegalityError
+from repro.ir.nodes import (
+    Assign, BinOp, Block, Const, For, Program, Stmt, Var,
+)
+from repro.ir.visitors import clone_program, clone_stmt, substitute
+from repro.transforms._util import find_in_clone, parent_of
+
+__all__ = ["unroll_loop", "fully_unroll"]
+
+
+def _shifted_body(loop: For, offset_iters: int) -> list[Stmt]:
+    """Clone the body substituting ``iv -> iv + offset_iters*step``."""
+    body = clone_stmt(loop.body)
+    if offset_iters:
+        shift = BinOp("add", Var(loop.var, loop.lo.ty),
+                      Const(offset_iters * loop.step, loop.lo.ty))
+        body = substitute(body, {loop.var: shift})
+    return body
+
+
+def unroll_loop(program: Program, loop: For, factor: int) -> Program:
+    """Unroll ``loop`` by ``factor`` (tail loop handles the remainder)."""
+    if factor < 1:
+        raise LegalityError("unroll factor must be >= 1")
+    q = clone_program(program)
+    target: For = find_in_clone(q, program, loop)  # type: ignore[assignment]
+    trip = trip_count(target)
+    if trip is None:
+        raise LegalityError("unrolling requires a constant trip count")
+    if factor == 1 or trip == 0:
+        return q
+    if factor >= trip:
+        return fully_unroll(program, loop)
+
+    main_trips = (trip // factor) * factor
+    lo = int(target.lo.value)       # type: ignore[union-attr]
+    step = target.step
+    new_body = Block()
+    for k in range(factor):
+        new_body.stmts.extend(_shifted_body(target, k).stmts)
+    main = For(target.var, Const(lo, target.lo.ty),
+               Const(lo + main_trips * step, target.hi.ty),
+               new_body, step * factor, dict(target.annotations))
+    replacement: list[Stmt] = [main]
+    if main_trips != trip:
+        tail = For(target.var, Const(lo + main_trips * step, target.lo.ty),
+                   Const(lo + trip * step, target.hi.ty),
+                   clone_stmt(target.body), step, dict(target.annotations))
+        replacement.append(tail)
+
+    block, idx = parent_of(q, target)
+    block.stmts[idx:idx + 1] = replacement
+    return q
+
+
+def fully_unroll(program: Program, loop: For) -> Program:
+    """Replace the loop by straight-line copies for every iteration."""
+    q = clone_program(program)
+    target: For = find_in_clone(q, program, loop)  # type: ignore[assignment]
+    trip = trip_count(target)
+    if trip is None:
+        raise LegalityError("full unrolling requires a constant trip count")
+    lo = int(target.lo.value)       # type: ignore[union-attr]
+    stmts: list[Stmt] = []
+    for k in range(trip):
+        body = clone_stmt(target.body)
+        body = substitute(body, {target.var: Const(lo + k * target.step,
+                                                   target.lo.ty)})
+        stmts.extend(body.stmts)
+    if trip > 0:
+        # IV holds its last iterate after the loop (counted-loop semantics)
+        stmts.append(Assign(target.var,
+                            Const(lo + (trip - 1) * target.step, target.lo.ty)))
+    block, idx = parent_of(q, target)
+    block.stmts[idx:idx + 1] = stmts
+    return q

@@ -1,0 +1,78 @@
+"""Shared fixtures and program factories used across the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir import F64, I32, U8, U16, U32, ProgramBuilder
+
+
+def build_fig21(m: int = 8, n: int = 4):
+    """The thesis Fig. 2.1 motivating nest.
+
+    for (i) { a = in[i]; for (j) { b = f(a); a = g(b); } out[i] = a; }
+    with f(x) = (x + 7) & 0xff and g(x) = (x ^ 0x5a) as 1-cycle ops.
+    """
+    b = ProgramBuilder("fig21")
+    data_in = b.array("data_in", (m,), U8,
+                      init=np.arange(1, m + 1, dtype=np.uint8))
+    data_out = b.array("data_out", (m,), U8, output=True)
+    a = b.local("a", U8)
+    bb = b.local("b", U8)
+    with b.loop("i", 0, m) as i:
+        b.assign(a, data_in[i])
+        with b.loop("j", 0, n, kernel=True):
+            b.assign(bb, a + 7)
+            b.assign(a, bb ^ 0x5A)
+        data_out[i] = a
+    return b.build()
+
+
+def build_fig41(m: int = 8, n: int = 5, k: int = 3):
+    """The thesis Fig. 4.1 running example.
+
+    for (i) { a = in[i]; for (j) { b = a + i; c = b - j; a = (c & 15) * k; }
+              out[i] = a; }
+    """
+    b = ProgramBuilder("fig41")
+    src = b.array("in", (m,), I32, init=np.arange(m, dtype=np.int32) * 3 + 1)
+    dst = b.array("out", (m,), I32, output=True)
+    kk = b.param("k", I32)
+    a = b.local("a", I32)
+    bv = b.local("b", I32)
+    cv = b.local("c", I32)
+    with b.loop("i", 0, m) as i:
+        b.assign(a, src[i])
+        with b.loop("j", 0, n, kernel=True) as j:
+            b.assign(bv, a + i)
+            b.assign(cv, bv - j)
+            b.assign(a, (cv & 15) * kk)
+        dst[i] = a
+    return b.build()
+
+
+def outer_loop(prog):
+    """First top-level For statement of a program."""
+    from repro.ir import For
+    return next(s for s in prog.body.stmts if isinstance(s, For))
+
+
+def inner_loop(prog):
+    """First kernel-annotated (or innermost) loop under the outer loop."""
+    from repro.ir import For, walk_stmts
+    outer = outer_loop(prog)
+    for s in walk_stmts(outer.body):
+        if isinstance(s, For):
+            return s
+    raise AssertionError("no inner loop")
+
+
+@pytest.fixture
+def fig21():
+    return build_fig21()
+
+
+@pytest.fixture
+def fig41():
+    return build_fig41()

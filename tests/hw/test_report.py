@@ -1,0 +1,83 @@
+"""Unit tests for DesignPoint arithmetic and normalization (Table 6.3 math)."""
+
+import pytest
+
+from repro.hw.report import DesignPoint, normalize
+
+
+def _point(variant, factor, ii, op_rows=40, registers=10, m=32, n=16,
+           base_ii=None, squash_ds=None):
+    return DesignPoint(
+        kernel="k", variant=variant, factor=factor, ii=ii, op_rows=op_rows,
+        registers=registers, reg_rows=1.0, rec_mii=1, res_mii=1,
+        outer_trip=m, inner_trip=n, base_ii=base_ii, squash_ds=squash_ds)
+
+
+class TestTotalCycles:
+    def test_original(self):
+        p = _point("original", 1, ii=20)
+        assert p.total_cycles == 20 * 32 * 16
+
+    def test_pipelined(self):
+        p = _point("pipelined", 1, ii=5)
+        assert p.total_cycles == 5 * 32 * 16
+
+    def test_squash_formula(self):
+        # §4.4: II * (M/DS) * (DS*N - (DS-1))
+        p = _point("squash", 4, ii=5)
+        assert p.total_cycles == 5 * 8 * (4 * 16 - 3)
+
+    def test_jam_formula(self):
+        p = _point("jam", 4, ii=8)
+        assert p.total_cycles == 8 * 8 * 16
+
+    def test_peeled_remainder_costed_at_base_ii(self):
+        p = _point("jam", 4, ii=8, m=30, base_ii=20)
+        tiles = 30 // 4
+        assert p.total_cycles == 8 * tiles * 16 + 2 * 16 * 20
+
+    def test_jam_squash_formula(self):
+        p = _point("jam+squash", 4, ii=3, squash_ds=2)
+        # tiles of 4 original iterations; squash part DS=2 over N=16
+        assert p.total_cycles == 3 * 8 * (2 * 16 - 1)
+
+    def test_unknown_variant_rejected(self):
+        p = _point("bogus", 2, ii=1)
+        with pytest.raises(ValueError):
+            p.total_cycles
+
+    def test_label(self):
+        assert _point("original", 1, 1).label == "original"
+        assert _point("squash", 8, 1).label == "squash(8)"
+
+    def test_area_rows_includes_register_cost(self):
+        p = _point("original", 1, 1, op_rows=40, registers=10)
+        assert p.area_rows == 50
+        p.reg_rows = 0.25
+        assert p.area_rows == 42.5
+
+
+class TestNormalize:
+    def test_base_is_unity(self):
+        base = _point("original", 1, ii=20)
+        n = normalize(base, base)
+        assert n.speedup == 1.0 and n.area_factor == 1.0
+        assert n.register_factor == 1.0 and n.efficiency == 1.0
+
+    def test_speedup_ratio(self):
+        base = _point("original", 1, ii=20)
+        fast = _point("pipelined", 1, ii=5)
+        assert normalize(base, fast).speedup == pytest.approx(4.0)
+
+    def test_efficiency_is_speedup_per_area(self):
+        base = _point("original", 1, ii=20, op_rows=40, registers=10)
+        v = _point("jam", 2, ii=20, op_rows=80, registers=20)
+        n = normalize(base, v)
+        assert n.speedup == pytest.approx(2.0)
+        assert n.area_factor == pytest.approx(2.0)
+        assert n.efficiency == pytest.approx(1.0)
+
+    def test_operator_fraction(self):
+        v = _point("squash", 4, ii=5, op_rows=40, registers=40)
+        n = normalize(_point("original", 1, ii=20), v)
+        assert n.operator_fraction == pytest.approx(0.5)

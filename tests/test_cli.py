@@ -1,0 +1,44 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "skipjack-mem" in out and "MPEG-2" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "adpcm"]) == 0
+        out = capsys.readouterr().out
+        assert "3 loops" in out
+
+    def test_squash_verifies(self, capsys):
+        assert main(["squash", "skipjack-hw", "--ds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out and "speedup" in out
+
+    def test_squash_show_code(self, capsys):
+        assert main(["squash", "iir", "--ds", "2", "--show-code"]) == 0
+        out = capsys.readouterr().out
+        assert "for (" in out
+
+    def test_tables_subset(self, capsys):
+        assert main(["tables", "6.2", "--factors", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "II (cycles)" in out
+
+    def test_tables_to_dir(self, tmp_path, capsys):
+        assert main(["tables", "fig2.4", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "fig_2_4.txt").exists()
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            main(["profile", "nope"])
+
+    def test_garp_target(self, capsys):
+        assert main(["squash", "des-hw", "--ds", "2",
+                     "--target", "garp"]) == 0

@@ -1,0 +1,359 @@
+"""Unit + property tests for scalar optimizations (fold/prop/DCE/strength/LICM)."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import (
+    Assign, BinOp, Block, Cast, Const, For, I32, Load, ProgramBuilder,
+    Select, Store, U8, U16, U32, Var, compile_program, run_program,
+    structurally_equal, walk_exprs, walk_stmts,
+)
+from repro.ir.randgen import RandConfig, random_program
+from repro.transforms import (
+    eliminate_dead_code, fold_constants, hoist_invariants, propagate,
+    standard_cleanup, strength_reduce,
+)
+
+
+def _same_behavior(before, after, params=None):
+    a = run_program(before, params=params)
+    b = run_program(after, params=params)
+    for name in a.arrays:
+        np.testing.assert_array_equal(a.arrays[name], b.arrays[name],
+                                      err_msg=f"array {name}")
+
+
+class TestFoldConstants:
+    def test_folds_constants(self):
+        b = ProgramBuilder("p")
+        x = b.local("x", I32)
+        b.assign(x, Const(2, I32) + Const(3, I32) * Const(4, I32))
+        out = fold_constants(b.build())
+        assert structurally_equal(out.body.stmts[0].expr, Const(14, I32))
+
+    def test_identities(self):
+        b = ProgramBuilder("p")
+        x = b.local("x", I32)
+        b.assign(x, 7)
+        b.assign(x, (b.var("x") + 0) * 1)
+        b.assign(x, b.var("x") ^ 0)
+        b.assign(x, b.var("x") << 0)
+        out = fold_constants(b.build())
+        for s in out.body.stmts[1:]:
+            assert isinstance(s.expr, Var), s
+
+    def test_mul_zero(self):
+        b = ProgramBuilder("p")
+        x = b.local("x", I32)
+        b.assign(x, 7)
+        b.assign(x, b.var("x") * 0)
+        out = fold_constants(b.build())
+        assert structurally_equal(out.body.stmts[1].expr, Const(0, I32))
+
+    def test_select_const_cond(self):
+        b = ProgramBuilder("p")
+        x = b.local("x", I32)
+        b.assign(x, Select(Const(1, I32), Const(5, I32), Const(9, I32)))
+        out = fold_constants(b.build())
+        assert structurally_equal(out.body.stmts[0].expr, Const(5, I32))
+
+    def test_division_by_zero_not_folded(self):
+        b = ProgramBuilder("p")
+        x = b.local("x", I32)
+        b.assign(x, Const(1, I32) / Const(0, I32))
+        out = fold_constants(b.build())
+        assert isinstance(out.body.stmts[0].expr, BinOp)
+
+    def test_fold_respects_width(self):
+        # u8: 200 + 100 must fold to 44, not 300
+        b = ProgramBuilder("p")
+        x = b.local("x", U8)
+        b.assign(x, Const(200, U8) + Const(100, U8))
+        out = fold_constants(b.build())
+        assert out.body.stmts[0].expr.value == 44
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_preserves_semantics(self, seed):
+        prog = random_program(random.Random(seed))
+        _same_behavior(prog, fold_constants(prog))
+
+
+class TestPropagate:
+    def test_constant_propagation(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (4,), I32, output=True)
+        x = b.local("x", I32)
+        b.assign(x, 3)
+        a[0] = b.var("x") + 1
+        out = propagate(b.build())
+        store = out.body.stmts[1]
+        assert structurally_equal(store.value,
+                                  BinOp("add", Const(3, I32), Const(1, I32)))
+
+    def test_copy_propagation(self):
+        b = ProgramBuilder("p")
+        x = b.local("x", I32)
+        y = b.local("y", I32)
+        z = b.local("z", I32)
+        b.assign(x, 1)
+        b.assign(y, b.var("x"))
+        b.assign(x, 2)            # kills the copy fact
+        b.assign(z, b.var("y"))   # y must NOT become x here
+        out = propagate(b.build())
+        assert isinstance(out.body.stmts[3].expr, (Var, Const))
+        # y's fact was established when x==1, so z gets 1 (const) or y
+        res = run_program(out)
+        assert res.scalars["z"] == 1
+
+    def test_loop_invalidates_written_vars(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (4,), I32, output=True)
+        x = b.local("x", I32)
+        b.assign(x, 0)
+        with b.loop("i", 0, 4) as i:
+            a[i] = b.var("x")
+            b.assign(x, b.var("x") + 1)
+        out = propagate(b.build())
+        loop = out.body.stmts[1]
+        # x inside the loop must not have been replaced by constant 0
+        assert isinstance(loop.body.stmts[0].value, Var)
+        _same_behavior(b.program, out)
+
+    def test_if_join_keeps_common_facts(self):
+        b = ProgramBuilder("p")
+        x = b.local("x", I32)
+        y = b.local("y", I32)
+        z = b.local("z", I32)
+        b.assign(x, 5)
+        b.assign(y, 0)
+        with b.if_(b.var("y") < 1):
+            b.assign(y, 1)
+        with b.else_():
+            b.assign(y, 2)
+        b.assign(z, b.var("x"))   # x untouched by branches: still 5
+        out = propagate(b.build())
+        assert structurally_equal(out.body.stmts[-1].expr, Const(5, I32))
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_preserves_semantics(self, seed):
+        prog = random_program(random.Random(seed))
+        _same_behavior(prog, propagate(prog))
+
+
+class TestDCE:
+    def test_removes_dead_assign(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (4,), I32, output=True)
+        x = b.local("x", I32)
+        d = b.local("dead", I32)
+        b.assign(x, 1)
+        b.assign(d, 42)
+        a[0] = b.var("x")
+        out = eliminate_dead_code(b.build())
+        assert all(not (isinstance(s, Assign) and s.var == "dead")
+                   for s in walk_stmts(out.body))
+
+    def test_keep_live_respected(self):
+        b = ProgramBuilder("p")
+        d = b.local("d", I32)
+        b.assign(d, 42)
+        out = eliminate_dead_code(b.build(), keep_live={"d"})
+        assert len(out.body.stmts) == 1
+        out2 = eliminate_dead_code(b.build())
+        assert len(out2.body.stmts) == 0
+
+    def test_removes_effectless_loop(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (4,), I32, output=True)
+        x = b.local("x", I32)
+        with b.loop("i", 0, 4):
+            b.assign(x, 1)
+        a[0] = 7
+        out = eliminate_dead_code(b.build())
+        assert not any(isinstance(s, For) for s in walk_stmts(out.body))
+
+    def test_keeps_loop_with_store(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (4,), I32, output=True)
+        with b.loop("i", 0, 4) as i:
+            a[i] = i
+        out = eliminate_dead_code(b.build())
+        assert any(isinstance(s, For) for s in walk_stmts(out.body))
+
+    def test_const_if_collapsed(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (4,), I32, output=True)
+        with b.if_(Const(1, I32)):
+            a[0] = 1
+        with b.else_():
+            a[1] = 2
+        out = eliminate_dead_code(b.build())
+        stores = [s for s in walk_stmts(out.body) if isinstance(s, Store)]
+        assert len(stores) == 1 and structurally_equal(stores[0].index[0],
+                                                       Const(0, I32))
+
+    def test_recurrence_kept(self, fig21):
+        out = eliminate_dead_code(fig21)
+        _same_behavior(fig21, out)
+        assert len([s for s in walk_stmts(out.body) if isinstance(s, For)]) == 2
+
+    def test_chained_backedge_recurrence_kept(self):
+        """Regression: z2 is read only *above* its definition (next-iteration
+        flow through z1); the loop fixpoint must widen until it sticks."""
+        b = ProgramBuilder("p")
+        out = b.array("out", (4,), I32, output=True)
+        z1 = b.local("z1", I32)
+        z2 = b.local("z2", I32)
+        y = b.local("y", I32)
+        b.assign(z1, 1)
+        b.assign(z2, 2)
+        with b.loop("i", 0, 4) as i:
+            b.assign(y, b.var("z1") + 10)
+            b.assign(z1, b.var("z2") + 1)   # z1 <- z2
+            b.assign(z2, b.var("y") * 2)    # z2 <- y (defined below its use)
+            out[i] = b.var("y")
+        prog = b.build()
+        cleaned = eliminate_dead_code(prog)
+        _same_behavior(prog, cleaned)
+        loop = next(s for s in walk_stmts(cleaned.body) if isinstance(s, For))
+        targets = [s.var for s in loop.body.stmts if isinstance(s, Assign)]
+        assert "z2" in targets and "z1" in targets
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_preserves_array_semantics(self, seed):
+        prog = random_program(random.Random(seed))
+        _same_behavior(prog, eliminate_dead_code(prog))
+
+
+class TestStrengthReduce:
+    def test_mul_pow2(self):
+        b = ProgramBuilder("p")
+        x = b.local("x", I32)
+        b.assign(x, 3)
+        b.assign(x, b.var("x") * 8)
+        out = strength_reduce(b.build())
+        e = out.body.stmts[1].expr
+        assert isinstance(e, BinOp) and e.op == "shl" and e.rhs.value == 3
+
+    def test_unsigned_div_mod_pow2(self):
+        b = ProgramBuilder("p")
+        x = b.local("x", U32)
+        b.assign(x, 100)
+        b.assign(x, b.var("x") / 4)
+        b.assign(x, b.var("x") % 8)
+        out = strength_reduce(b.build())
+        assert out.body.stmts[1].expr.op == "shr"
+        assert out.body.stmts[2].expr.op == "and"
+
+    def test_signed_div_untouched(self):
+        b = ProgramBuilder("p")
+        x = b.local("x", I32)
+        b.assign(x, -7)
+        b.assign(x, b.var("x") / 2)
+        out = strength_reduce(b.build())
+        assert out.body.stmts[1].expr.op == "div"
+        _same_behavior(b.program, out)
+
+    def test_narrow_operand_wide_result_untouched(self):
+        # u8 * i32-const where result is i32: shifting in u8 would wrap wrongly
+        b = ProgramBuilder("p")
+        x = b.local("x", U8)
+        y = b.local("y", I32)
+        b.assign(x, 200)
+        b.assign(y, BinOp("mul", Var("x", U8), Const(4, I32)))
+        out = strength_reduce(b.build())
+        _same_behavior(b.program, out)
+        assert run_program(out).scalars["y"] == 800
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_preserves_semantics(self, seed):
+        prog = random_program(random.Random(seed))
+        _same_behavior(prog, strength_reduce(prog))
+
+
+class TestLICM:
+    def test_hoists_invariant(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (8,), I32, output=True)
+        n = b.param("n", I32)
+        t = b.local("t", I32)
+        b.assign(t, 0)
+        with b.loop("i", 0, 8) as i:
+            b.assign(t, n * 3)
+            a[i] = b.var("t") + i
+        prog = b.build()
+        out = hoist_invariants(prog)
+        loop = next(s for s in out.body.stmts if isinstance(s, For))
+        assert all(not (isinstance(s, Assign) and s.var == "t")
+                   for s in loop.body.stmts)
+        _same_behavior(prog, out, params={"n": 5})
+
+    def test_does_not_hoist_iv_dependent(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (8,), I32, output=True)
+        t = b.local("t", I32)
+        b.assign(t, 0)
+        with b.loop("i", 0, 8) as i:
+            b.assign(t, i * 3)
+            a[i] = b.var("t")
+        out = hoist_invariants(b.build())
+        loop = next(s for s in out.body.stmts if isinstance(s, For))
+        assert any(isinstance(s, Assign) and s.var == "t"
+                   for s in loop.body.stmts)
+
+    def test_does_not_hoist_recurrence(self, fig21):
+        out = hoist_invariants(fig21)
+        _same_behavior(fig21, out)
+
+    def test_does_not_hoist_read_before_write(self):
+        # t is read before being written: iteration 1 must see the old value
+        b = ProgramBuilder("p")
+        a = b.array("a", (8,), I32, output=True)
+        n = b.param("n", I32)
+        t = b.local("t", I32)
+        b.assign(t, 99)
+        with b.loop("i", 0, 8) as i:
+            a[i] = b.var("t")
+            b.assign(t, n * 2)
+        prog = b.build()
+        out = hoist_invariants(prog)
+        _same_behavior(prog, out, params={"n": 5})
+
+    def test_no_hoist_from_loads_of_written_array(self):
+        b = ProgramBuilder("p")
+        a = b.array("a", (8,), I32, output=True)
+        t = b.local("t", I32)
+        b.assign(t, 0)
+        with b.loop("i", 0, 8) as i:
+            b.assign(t, a[0] + 1)
+            a[i] = b.var("t")
+        prog = b.build()
+        out = hoist_invariants(prog)
+        _same_behavior(prog, out)
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_preserves_semantics(self, seed):
+        prog = random_program(random.Random(seed))
+        _same_behavior(prog, hoist_invariants(prog))
+
+
+class TestStandardCleanup:
+    @given(seed=st.integers(0, 3000))
+    @settings(max_examples=30, deadline=None)
+    def test_pipeline_preserves_semantics(self, seed):
+        prog = random_program(random.Random(seed))
+        _same_behavior(prog, standard_cleanup(prog))
+
+    def test_pipeline_shrinks_fig41(self, fig41):
+        from repro.ir import count_nodes
+        out = standard_cleanup(fig41)
+        assert count_nodes(out.body) <= count_nodes(fig41.body)
+        _same_behavior(fig41, out, params={"k": 3})
