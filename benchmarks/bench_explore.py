@@ -1,0 +1,46 @@
+"""Benchmarks the exploration engine itself: cold parallel sweep vs a
+fully-cached warm re-run over the Table 6.2 design space.
+
+The cold pass fans the full (kernel x variant x factor) space over the
+process pool; the warm pass replays it from the persistent result cache
+and must be hits-only — the incrementality every repeated sweep, bench,
+and CLI invocation now relies on.
+"""
+
+import pytest
+
+from repro.explore import (
+    ResultCache, default_jobs, evaluate, format_pareto, format_summary,
+    table_sweep_space,
+)
+from repro.workloads import table_6_1_benchmarks
+
+FACTORS = (2, 4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def space():
+    kernels = [bm.name for bm in table_6_1_benchmarks()]
+    return table_sweep_space(kernels, FACTORS)
+
+
+def test_explore_cold_parallel(once, artifact, tmp_path, space):
+    cache = ResultCache(tmp_path / "cache")
+    result = once(evaluate, space.enumerate(), jobs=default_jobs(),
+                  cache=cache)
+    assert result.cache_stats.misses == space.size
+    assert not result.skips()
+    artifact("explore_pareto",
+             format_summary(result) + "\n" + format_pareto(result))
+
+
+def test_explore_warm_cache(once, artifact, tmp_path, space):
+    queries = space.enumerate()
+    cold = ResultCache(tmp_path / "cache")
+    evaluate(queries, cache=cold)
+
+    warm = once(evaluate, queries, jobs=1,
+                cache=ResultCache(tmp_path / "cache"))
+    assert warm.cache_stats.hits == len(queries)
+    assert warm.cache_stats.hit_rate == 1.0
+    artifact("explore_cache", format_summary(warm))

@@ -9,11 +9,35 @@ microbenchmarks) and writes the rendered artifact to
 
 from __future__ import annotations
 
+import os
 import pathlib
+import tempfile
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_caches():
+    """Keep benchmark timings honest across processes.
+
+    The Table 6.2 sweep now lands in the persistent exploration cache;
+    without isolation a re-run would time cache hits instead of the
+    synthesis sweep.  Point the cache at a throwaway directory and clear
+    both layers once per session — within the session the benches still
+    share one sweep, exactly as the old in-process memo did.
+    """
+    from repro.harness import clear_caches
+    with tempfile.TemporaryDirectory(prefix="repro_bench_cache") as tmp:
+        old = os.environ.get("REPRO_CACHE_DIR")
+        os.environ["REPRO_CACHE_DIR"] = tmp
+        clear_caches()
+        yield
+        if old is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = old
 
 
 @pytest.fixture

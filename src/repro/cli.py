@@ -1,13 +1,32 @@
-"""Command-line interface: ``python -m repro.cli <command>``.
+"""Command-line interface: ``python -m repro.cli <command>`` (or just
+``python -m repro``).
 
 Commands
 --------
 ``tables``      regenerate thesis tables/figures (1.1, 6.1, 6.2, 6.3,
-                fig6.1-fig6.4, fig2.4) to stdout or a directory;
+                fig6.1-fig6.4, fig2.4) to stdout or a directory; the
+                synthesis sweep runs through the exploration engine
+                (``--jobs`` workers, persistent result cache);
+``explore``     free-form design-space exploration: pick kernels,
+                variants, DS/J factors, and a target spec; evaluates the
+                space in parallel through the persistent cache and
+                reports the Pareto frontier (``--pareto``), the
+                best-design ranking (``--best``), and skip records;
 ``profile``     Table 1.1-style loop profile of one benchmark;
 ``squash``      transform one benchmark kernel, verify it, and report the
                 hardware estimate;
 ``list``        list available benchmarks.
+
+Exploration examples::
+
+    python -m repro explore --kernel iir --factors 2 4 8 --jobs 2 --pareto
+    python -m repro explore --kernel des-mem --kernel des-hw \\
+        --variants squash jam jam+squash --factors 2 4 --jam-factors 2 \\
+        --target acev::ports=1 --best --out results.txt
+
+The result cache lives under ``.repro_cache/`` (override with
+``REPRO_CACHE_DIR``); ``--no-cache`` bypasses it and ``--clear-cache``
+drops it before running.
 """
 
 from __future__ import annotations
@@ -48,7 +67,7 @@ def _cmd_tables(args) -> int:
     needs_sweep = any(want(x) for x in
                       ("6.2", "6.3", "fig6.1", "fig6.2", "fig6.3", "fig6.4"))
     if needs_sweep:
-        sweep = run_table_6_2(factors, args.target)
+        sweep = run_table_6_2(factors, args.target, jobs=args.jobs)
         if want("6.2"):
             artifacts["table_6_2"] = format_table_6_2(sweep)
         norm = run_table_6_3(sweep)
@@ -70,6 +89,42 @@ def _cmd_tables(args) -> int:
         else:
             print("=" * 72)
             print(text)
+    return 0
+
+
+def _cmd_explore(args) -> int:
+    from repro.explore import (
+        DesignSpace, NullCache, ResultCache, evaluate, format_best,
+        format_pareto, format_skips, format_summary,
+    )
+
+    space = DesignSpace(
+        kernels=tuple(args.kernel),
+        variants=tuple(args.variants),
+        factors=tuple(args.factors),
+        jam_factors=tuple(args.jam_factors),
+        target_specs=tuple(args.target or ["acev"]),
+    )
+    if args.clear_cache:  # honor the clear even when bypassing the cache
+        ResultCache(args.cache_dir).clear()
+    cache = NullCache() if args.no_cache else ResultCache(args.cache_dir)
+    result = evaluate(space.enumerate(), jobs=args.jobs, cache=cache)
+
+    sections = [format_summary(result)]
+    if args.pareto:
+        sections.append(format_pareto(result))
+    if args.best:
+        sections.append(format_best(result, objective=args.objective))
+    skips = format_skips(result)
+    if skips:
+        sections.append(skips)
+    text = "\n".join(sections)
+    print(text)
+    if args.out:
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n")
+        print(f"wrote {path}")
     return 0
 
 
@@ -141,7 +196,43 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--target", default="acev",
                    help="acev | garp | acev::ports=N | acev::reg_rows=X")
     t.add_argument("--out", help="write artifacts to this directory")
+    t.add_argument("--jobs", type=int, default=None,
+                   help="parallel sweep workers (default: cores, capped)")
     t.set_defaults(fn=_cmd_tables)
+
+    e = sub.add_parser(
+        "explore", help="explore a (kernel x variant x factor x target) "
+                        "design space")
+    e.add_argument("--kernel", action="append", required=True,
+                   help="benchmark kernel (repeatable; see `repro list`)")
+    e.add_argument("--variants", nargs="+",
+                   default=["original", "pipelined", "squash", "jam"],
+                   choices=["original", "pipelined", "squash", "jam",
+                            "jam+squash"])
+    e.add_argument("--factors", type=int, nargs="+", default=[2, 4, 8, 16],
+                   help="DS factors for squash/jam")
+    e.add_argument("--jam-factors", type=int, nargs="+", default=[2],
+                   help="J factors for the combined jam+squash variant")
+    e.add_argument("--target", action="append", default=None,
+                   help="target spec (repeatable): acev | garp | "
+                        "acev::ports=N,reg_rows=X,clock=MHz,delay.op=N")
+    e.add_argument("--jobs", type=int, default=None,
+                   help="parallel workers (default: cores, capped)")
+    e.add_argument("--pareto", action="store_true",
+                   help="print the per-kernel Pareto frontier")
+    e.add_argument("--best", action="store_true",
+                   help="print the best design per kernel")
+    e.add_argument("--objective", default="efficiency",
+                   choices=["efficiency", "speedup"])
+    e.add_argument("--out", help="also write the report to this file")
+    e.add_argument("--no-cache", action="store_true",
+                   help="bypass the persistent result cache")
+    e.add_argument("--cache-dir", default=None,
+                   help="result cache directory (default: .repro_cache "
+                        "or $REPRO_CACHE_DIR)")
+    e.add_argument("--clear-cache", action="store_true",
+                   help="drop cached results before running")
+    e.set_defaults(fn=_cmd_explore)
 
     pr = sub.add_parser("profile", help="loop profile of one benchmark")
     pr.add_argument("benchmark")

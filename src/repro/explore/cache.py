@@ -1,0 +1,173 @@
+"""Persistent on-disk result cache for design-space exploration.
+
+Results live as JSON lines under ``.repro_cache/`` (override with the
+``REPRO_CACHE_DIR`` environment variable), one file per *code version* —
+a hash over every ``repro`` source file — so editing the compiler
+invalidates stale results automatically instead of serving them.  Each
+record is keyed by the query's stable content hash; repeated sweeps,
+benchmarks, and CLI runs are therefore incremental across processes.
+
+The cache is append-only: ``put`` appends a line, ``get`` reads from an
+in-memory index loaded once per instance.  Deserialization builds fresh
+:class:`DesignPoint` objects on every ``get`` so callers may mutate the
+returned point (e.g. attach ``base_ii``) without corrupting the store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import dataclass
+
+from repro.explore.space import DesignQuery, SkipRecord
+from repro.hw.report import DesignPoint
+
+__all__ = ["CacheStats", "NullCache", "ResultCache", "code_version",
+           "default_cache_dir"]
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_DEFAULT_DIR = ".repro_cache"
+
+_code_version: str | None = None
+
+
+def code_version() -> str:
+    """Hash of every ``repro`` source file — the cache generation key."""
+    global _code_version
+    if _code_version is None:
+        import repro
+        root = pathlib.Path(repro.__file__).parent
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _code_version = h.hexdigest()[:12]
+    return _code_version
+
+
+def default_cache_dir() -> pathlib.Path:
+    return pathlib.Path(os.environ.get(_ENV_DIR, _DEFAULT_DIR))
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def describe(self) -> str:
+        return (f"{self.hits} hits, {self.misses} misses "
+                f"({self.hit_rate:.0%} hit rate), {self.stores} stored")
+
+
+class NullCache:
+    """The ``--no-cache`` escape hatch: never hits, never stores."""
+
+    def __init__(self):
+        self.stats = CacheStats()
+
+    def get(self, query: DesignQuery):
+        self.stats.misses += 1
+        return None
+
+    def put(self, query: DesignQuery, result) -> None:
+        pass
+
+    def clear(self) -> None:
+        pass
+
+
+class ResultCache:
+    """JSON-lines result store keyed by query hash + code version."""
+
+    def __init__(self, directory: str | os.PathLike | None = None,
+                 version: str | None = None):
+        self.directory = pathlib.Path(directory) if directory \
+            else default_cache_dir()
+        self.version = version or code_version()
+        self.stats = CacheStats()
+        self._index: dict[str, dict] | None = None
+
+    @property
+    def path(self) -> pathlib.Path:
+        return self.directory / f"results-{self.version}.jsonl"
+
+    def _load(self) -> dict[str, dict]:
+        if self._index is None:
+            self._index = {}
+            if self.path.exists():
+                with self.path.open() as fh:
+                    for line in fh:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            rec = json.loads(line)
+                        except json.JSONDecodeError:
+                            continue  # torn write: drop the record
+                        self._index[rec["hash"]] = rec
+        return self._index
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    def get(self, query: DesignQuery) -> DesignPoint | SkipRecord | None:
+        rec = self._load().get(query.query_hash)
+        if rec is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return _decode_result(rec)
+
+    def put(self, query: DesignQuery,
+            result: DesignPoint | SkipRecord) -> None:
+        rec = _encode_result(query, result)
+        index = self._load()
+        if query.query_hash in index:
+            return
+        index[query.query_hash] = rec
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as fh:
+            fh.write(json.dumps(rec, sort_keys=True) + "\n")
+        self.stats.stores += 1
+
+    def clear(self) -> None:
+        """Drop every stored result (all code versions)."""
+        self._index = None
+        if self.directory.is_dir():
+            for path in self.directory.glob("results-*.jsonl"):
+                path.unlink(missing_ok=True)
+
+
+def _encode_result(query: DesignQuery,
+                   result: DesignPoint | SkipRecord) -> dict:
+    rec = {"hash": query.query_hash, "query": query.to_dict()}
+    if isinstance(result, SkipRecord):
+        rec["kind"] = "skip"
+        rec["data"] = {"phase": result.phase, "reason": result.reason}
+    else:
+        rec["kind"] = "point"
+        rec["data"] = dataclasses.asdict(result)
+    return rec
+
+
+def _decode_result(rec: dict) -> DesignPoint | SkipRecord:
+    query = DesignQuery(**rec["query"])
+    if rec["kind"] == "skip":
+        return SkipRecord(query=query, **rec["data"])
+    return DesignPoint(**rec["data"])

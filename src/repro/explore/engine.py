@@ -1,0 +1,140 @@
+"""Parallel design-space evaluation engine.
+
+Fans :class:`DesignQuery` objects out over a
+``concurrent.futures.ProcessPoolExecutor`` (``jobs`` workers, chunked to
+amortize pickling), consulting a persistent :class:`ResultCache` first so
+repeated sweeps are incremental.  Designs the compiler rejects —
+``LegalityError`` / ``ScheduleError`` — come back as structured
+:class:`SkipRecord` entries instead of crashing the sweep; every other
+exception still propagates.
+
+The worker, :func:`repro.nimble.compiler.compile_query`, is a pure
+function of the query, so results are independent of worker count and
+arrival order: ``evaluate(qs, jobs=1)`` and ``evaluate(qs, jobs=8)``
+return identical points.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.explore.cache import CacheStats, NullCache, ResultCache
+from repro.explore.space import DesignQuery, SkipRecord
+from repro.hw.report import DesignPoint
+from repro.nimble.compiler import compile_query
+
+__all__ = ["ExploreResult", "default_jobs", "evaluate"]
+
+#: Cap on the default worker count: the sweeps are ~tens of designs, so
+#: more workers than this only pay fork cost.
+_MAX_DEFAULT_JOBS = 8
+
+
+def default_jobs() -> int:
+    """Worker count when the caller does not choose: ``REPRO_JOBS`` or
+    the machine's core count, capped at ``_MAX_DEFAULT_JOBS``."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        return max(1, int(env))
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cores = os.cpu_count() or 1
+    return max(1, min(cores, _MAX_DEFAULT_JOBS))
+
+
+@dataclass
+class ExploreResult:
+    """The outcome of one engine run, aligned with its query list."""
+
+    queries: list[DesignQuery]
+    results: list["DesignPoint | SkipRecord"]
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+    jobs: int = 1
+
+    def pairs(self) -> list[tuple[DesignQuery, "DesignPoint | SkipRecord"]]:
+        return list(zip(self.queries, self.results))
+
+    def points(self) -> list[DesignPoint]:
+        return [r for r in self.results if isinstance(r, DesignPoint)]
+
+    def skips(self) -> list[SkipRecord]:
+        return [r for r in self.results if isinstance(r, SkipRecord)]
+
+    def point_for(self, query: DesignQuery) -> Optional[DesignPoint]:
+        for q, r in self.pairs():
+            if q == query and isinstance(r, DesignPoint):
+                return r
+        return None
+
+    def attach_base_ii(self) -> None:
+        """Propagate each (kernel, target) group's original II.
+
+        ``compile_query`` is pure per query, so squash/jam points come
+        back with ``base_ii=None``; total-cycle costing of the peeled
+        remainder needs the original design's II (§4.4).  Only the
+        transformed variants get a base (original/pipelined cost
+        ``II*M*N`` outright — the serial path leaves them unset, and we
+        must produce identical points).  Groups without an ``original``
+        point are left untouched.
+        """
+        base: dict[tuple[str, str], int] = {}
+        for q, r in self.pairs():
+            if q.variant == "original" and isinstance(r, DesignPoint):
+                base[(q.kernel, q.target_spec)] = r.ii
+        for q, r in self.pairs():
+            if (q.variant not in ("original", "pipelined")
+                    and isinstance(r, DesignPoint)
+                    and (q.kernel, q.target_spec) in base):
+                r.base_ii = base[(q.kernel, q.target_spec)]
+
+
+def evaluate(queries: "Sequence[DesignQuery] | Iterable[DesignQuery]",
+             jobs: Optional[int] = None,
+             cache: "ResultCache | NullCache | None" = None,
+             chunksize: Optional[int] = None) -> ExploreResult:
+    """Evaluate every query, through the cache, in parallel.
+
+    ``jobs=None`` picks :func:`default_jobs`; ``jobs=1`` runs inline
+    (no pool, deterministic single-process debugging).  ``cache=None``
+    disables caching entirely.
+    """
+    queries = list(queries)
+    jobs = default_jobs() if jobs is None else max(1, jobs)
+    cache = cache if cache is not None else NullCache()
+    # snapshot the cache counters so the result reports THIS run's
+    # hit/miss/store deltas even when the caller reuses one cache
+    before = (cache.stats.hits, cache.stats.misses, cache.stats.stores)
+
+    results: list["DesignPoint | SkipRecord | None"] = [None] * len(queries)
+    pending: list[int] = []
+    for i, q in enumerate(queries):
+        hit = cache.get(q)
+        if hit is not None:
+            results[i] = hit
+        else:
+            pending.append(i)
+
+    if pending:
+        todo = [queries[i] for i in pending]
+        workers = min(jobs, len(todo))
+        if workers <= 1:
+            fresh = [compile_query(q) for q in todo]
+        else:
+            if chunksize is None:
+                chunksize = max(1, len(todo) // (workers * 4))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                fresh = list(pool.map(compile_query, todo,
+                                      chunksize=chunksize))
+        for i, q, r in zip(pending, todo, fresh):
+            results[i] = r
+            cache.put(q, r)
+
+    run_stats = CacheStats(hits=cache.stats.hits - before[0],
+                           misses=cache.stats.misses - before[1],
+                           stores=cache.stats.stores - before[2])
+    return ExploreResult(queries=queries, results=results,
+                         cache_stats=run_stats, jobs=jobs)

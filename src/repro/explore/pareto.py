@@ -1,0 +1,99 @@
+"""Pareto-frontier extraction and design ranking.
+
+The unroll-and-squash trade-off is multi-objective: lower II costs area
+(jam) or registers (squash).  :func:`pareto_front` extracts the
+non-dominated set over (II, area, registers) — all minimized — and
+:func:`best_designs` ranks a result set per kernel by a normalized
+scalar objective (efficiency = speedup/area by default, Fig. 6.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.explore.engine import ExploreResult
+from repro.explore.space import DesignQuery
+from repro.hw.report import DesignPoint, NormalizedPoint, normalize
+
+__all__ = ["OBJECTIVES", "best_designs", "dominates", "pareto_front",
+           "pareto_queries"]
+
+#: Default minimization axes: initiation interval, total rows, registers.
+_DEFAULT_KEYS: tuple[Callable[[DesignPoint], float], ...] = (
+    lambda p: p.ii,
+    lambda p: p.area_rows,
+    lambda p: p.registers,
+)
+
+#: Scalar ranking objectives over a NormalizedPoint (higher is better).
+OBJECTIVES: dict[str, Callable[[NormalizedPoint], float]] = {
+    "efficiency": lambda n: n.efficiency,
+    "speedup": lambda n: n.speedup,
+}
+
+
+def dominates(a, b, keys: Sequence[Callable] = _DEFAULT_KEYS) -> bool:
+    """True iff ``a`` is no worse than ``b`` on every key and strictly
+    better on at least one (all keys minimized)."""
+    no_worse = all(k(a) <= k(b) for k in keys)
+    return no_worse and any(k(a) < k(b) for k in keys)
+
+
+def pareto_front(points: Sequence, keys: Sequence[Callable] = _DEFAULT_KEYS
+                 ) -> list:
+    """The non-dominated subset of ``points``, in input order.
+
+    Duplicate coordinates all survive (none strictly beats the other),
+    so frontier membership is stable under reordering.
+    """
+    return [p for p in points
+            if not any(dominates(q, p, keys) for q in points)]
+
+
+def _group(result: ExploreResult) -> dict[tuple[str, str],
+                                          list[tuple[DesignQuery,
+                                                     DesignPoint]]]:
+    groups: dict = {}
+    for q, r in result.pairs():
+        if isinstance(r, DesignPoint):
+            groups.setdefault((q.kernel, q.target_spec), []).append((q, r))
+    return groups
+
+
+def pareto_queries(result: ExploreResult,
+                   keys: Sequence[Callable] = _DEFAULT_KEYS
+                   ) -> dict[tuple[str, str], list[tuple[DesignQuery,
+                                                         DesignPoint]]]:
+    """Per (kernel, target) frontier of an engine run."""
+    out = {}
+    for key, pairs in _group(result).items():
+        front = pareto_front([p for _, p in pairs], keys)
+        out[key] = [(q, p) for q, p in pairs if p in front]
+    return out
+
+
+def best_designs(result: ExploreResult, objective: str = "efficiency",
+                 baseline_variant: str = "original"
+                 ) -> dict[tuple[str, str], list[NormalizedPoint]]:
+    """Rank each (kernel, target) group's designs, best first.
+
+    Answers "which (transform, DS, J) wins for this kernel on this
+    target": the head of each list is the winner under ``objective``.
+    Groups lacking a ``baseline_variant`` point are omitted (nothing to
+    normalize against).
+    """
+    try:
+        metric = OBJECTIVES[objective]
+    except KeyError:
+        raise KeyError(f"unknown objective {objective!r}; "
+                       f"have {sorted(OBJECTIVES)}")
+    result.attach_base_ii()
+    out: dict[tuple[str, str], list[NormalizedPoint]] = {}
+    for key, pairs in _group(result).items():
+        base: Optional[DesignPoint] = next(
+            (p for q, p in pairs if q.variant == baseline_variant), None)
+        if base is None:
+            continue
+        norm = [normalize(base, p) for _, p in pairs]
+        out[key] = sorted(norm, key=metric, reverse=True)
+    return out

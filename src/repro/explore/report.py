@@ -1,0 +1,93 @@
+"""Rendering for exploration runs: Pareto tables, rankings, skip lists.
+
+Built on the same fixed-width helpers (:mod:`repro.harness.tables`) as
+the thesis artifacts, so exploration output is diffable alongside the
+reproduced tables.
+"""
+
+from __future__ import annotations
+
+from repro.explore.engine import ExploreResult
+from repro.explore.pareto import best_designs, pareto_queries
+from repro.harness.tables import render_table
+from repro.hw.report import DesignPoint, normalize
+
+__all__ = ["format_best", "format_cache_stats", "format_pareto",
+           "format_skips", "format_summary"]
+
+
+def _group_title(key: tuple[str, str]) -> str:
+    kernel, target = key
+    return f"{kernel} @ {target}"
+
+
+def format_summary(result: ExploreResult) -> str:
+    """One-line run summary plus the cache counters."""
+    n_pts, n_skip = len(result.points()), len(result.skips())
+    kernels = {q.kernel for q in result.queries}
+    return (f"explored {len(result.queries)} designs over "
+            f"{len(kernels)} kernel(s) with {result.jobs} job(s): "
+            f"{n_pts} evaluated, {n_skip} skipped\n"
+            f"{format_cache_stats(result)}")
+
+
+def format_cache_stats(result: ExploreResult) -> str:
+    return f"cache: {result.cache_stats.describe()}"
+
+
+def format_pareto(result: ExploreResult) -> str:
+    """Per-kernel Pareto frontier over (II, area, registers)."""
+    result.attach_base_ii()
+    bases: dict[tuple[str, str], DesignPoint] = {}
+    for q, r in result.pairs():
+        if q.variant == "original" and isinstance(r, DesignPoint):
+            bases[(q.kernel, q.target_spec)] = r
+    blocks = []
+    for key, pairs in pareto_queries(result).items():
+        all_pts = [r for q, r in result.pairs()
+                   if isinstance(r, DesignPoint)
+                   and (q.kernel, q.target_spec) == key]
+        base = bases.get(key)
+        rows = []
+        for q, p in sorted(pairs, key=lambda qp: (qp[1].ii,
+                                                  qp[1].area_rows)):
+            speedup = (f"{normalize(base, p).speedup:.2f}"
+                       if base is not None else "-")
+            rows.append([q.label, p.ii, round(p.area_rows), p.registers,
+                         speedup])
+        dominated = len(all_pts) - len(pairs)
+        blocks.append(render_table(
+            ["design", "II", "area", "regs", "speedup"], rows,
+            title=f"{_group_title(key)} — Pareto frontier "
+                  f"({len(pairs)} of {len(all_pts)} designs; "
+                  f"{dominated} dominated)"))
+    if not blocks:
+        return "Pareto frontier: no evaluable designs.\n"
+    return ("Pareto frontier over (II, area rows, registers) — "
+            "all minimized.\n" + "\n".join(blocks))
+
+
+def format_best(result: ExploreResult, objective: str = "efficiency") -> str:
+    """The winning design per (kernel, target) under ``objective``."""
+    ranked = best_designs(result, objective)
+    rows = []
+    for key, norms in ranked.items():
+        win = norms[0]
+        rows.append([_group_title(key), win.point.label,
+                     f"{win.speedup:.2f}", f"{win.area_factor:.2f}",
+                     f"{win.efficiency:.2f}"])
+    if not rows:
+        return "best designs: none (no original baseline evaluated)\n"
+    return render_table(
+        ["kernel", "best design", "speedup", "area", "efficiency"], rows,
+        title=f"Best designs by {objective} (baseline: original).")
+
+
+def format_skips(result: ExploreResult) -> str:
+    skips = result.skips()
+    if not skips:
+        return ""
+    rows = [[s.query.kernel, s.label, s.phase, s.reason[:60]]
+            for s in skips]
+    return render_table(["kernel", "design", "phase", "reason"], rows,
+                        title=f"Skipped designs ({len(skips)}).")

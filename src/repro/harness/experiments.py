@@ -2,14 +2,17 @@
 
 Each runner computes the experiment's data; ``format_*`` companions turn
 it into the printable artifact.  The Table 6.2 synthesis sweep is the
-expensive common input of all Chapter 6 artifacts, so it is cached per
-(factors, target) within the process — the benchmark modules all share
-one sweep.
+expensive common input of all Chapter 6 artifacts, so it runs through
+the exploration engine (:mod:`repro.explore`): design points fan out
+over a process pool and land in the persistent on-disk result cache, so
+repeated sweeps — across benchmark modules *and* across processes — are
+incremental.  A process-local memo preserves the old identity guarantee
+(same arguments, same ``VariantSet`` objects); :func:`clear_caches`
+resets both layers for hermetic tests.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Optional, Sequence
 
 from repro.analysis.loops import find_kernel_nests
@@ -18,7 +21,9 @@ from repro.hw import (
     NormalizedPoint, modulo_schedule, normalize, occupancy_timeline,
     squash_distances,
 )
-from repro.nimble import ACEV, Target, VariantSet, compile_variants, profile_summary
+from repro.nimble import (
+    ACEV, Target, VariantSet, decode_target, profile_summary,
+)
 from repro.workloads import table_1_1_programs, table_6_1_benchmarks
 
 __all__ = [
@@ -27,7 +32,7 @@ __all__ = [
     "run_table_6_2", "format_table_6_2",
     "run_table_6_3", "format_table_6_3",
     "figure_series", "format_figure", "run_fig_2_4", "format_fig_2_4",
-    "VARIANT_LABELS",
+    "clear_caches", "VARIANT_LABELS",
 ]
 
 VARIANT_LABELS = ("original", "pipelined", "squash(2)", "squash(4)",
@@ -77,40 +82,78 @@ def format_table_6_1(benchmarks) -> str:
 # Table 6.2 — raw II / area / registers (the synthesis sweep)
 # ---------------------------------------------------------------------------
 
-@lru_cache(maxsize=4)
-def _sweep(factors: tuple[int, ...], target_name: str) -> dict[str, VariantSet]:
-    from repro.nimble.target import target_by_name
-    target = target_by_name(target_name.split("::")[0]) \
-        if "::" not in target_name else _decode_target(target_name)
-    out: dict[str, VariantSet] = {}
-    for bm in table_6_1_benchmarks():
-        prog = bm.build(**bm.eval_kwargs)
-        nest = find_kernel_nests(prog)[0]
-        out[bm.name] = compile_variants(prog, nest, factors=factors,
-                                        target=target)
-    return out
+#: Process-local memo on top of the persistent cache: same (factors,
+#: target) arguments return the *same* VariantSet objects within one
+#: process, as the old ``lru_cache`` did.
+_SWEEP_MEMO: dict[tuple[tuple[int, ...], str], dict[str, VariantSet]] = {}
+
+#: Alias kept for callers of the old private helper.
+_decode_target = decode_target
 
 
-def _decode_target(spec: str) -> Target:
-    """Decode ``"acev::ports=1"`` / ``"acev::reg_rows=0.25"`` specs."""
-    from repro.nimble.target import target_by_name
-    name, _, mods = spec.partition("::")
-    target = target_by_name(name)
-    for mod in filter(None, mods.split(",")):
-        key, _, val = mod.partition("=")
-        if key == "ports":
-            target = target.with_mem_ports(int(val))
-        elif key == "reg_rows":
-            target = target.with_packed_registers(float(val))
-        else:  # pragma: no cover - defensive
-            raise KeyError(f"unknown target modifier {key!r}")
-    return target
+def _sweep(factors: tuple[int, ...], target_spec: str,
+           jobs: Optional[int] = None) -> dict[str, VariantSet]:
+    """Run the Table 6.2 sweep through the exploration engine.
+
+    Produces exactly the points ``compile_variants`` would — original,
+    pipelined, squash(DS), jam(DS) per kernel, with squash/jam costed
+    against the original II — but evaluated in parallel and memoized in
+    the persistent result cache.
+    """
+    from repro.explore import ResultCache, evaluate, table_sweep_space
+
+    kernels = [bm.name for bm in table_6_1_benchmarks()]
+    space = table_sweep_space(kernels, factors, target_spec)
+    result = evaluate(space.enumerate(), jobs=jobs, cache=ResultCache())
+    for skip in result.skips():  # pragma: no cover - defensive
+        raise RuntimeError(
+            f"table sweep design {skip.query.label!r} on "
+            f"{skip.query.kernel!r} failed in {skip.phase}: {skip.reason}")
+    result.attach_base_ii()
+
+    target = decode_target(target_spec)
+    by_kernel: dict[str, dict] = {k: {"squash": {}, "jam": {}}
+                                  for k in kernels}
+    for q, point in result.pairs():
+        slot = by_kernel[q.kernel]
+        if q.variant in ("original", "pipelined"):
+            slot[q.variant] = point
+        else:
+            slot[q.variant][q.ds] = point
+    return {k: VariantSet(kernel=k, target=target, original=v["original"],
+                          pipelined=v["pipelined"], squash=v["squash"],
+                          jam=v["jam"])
+            for k, v in by_kernel.items()}
 
 
 def run_table_6_2(factors: Sequence[int] = (2, 4, 8, 16),
-                  target_spec: str = "acev") -> dict[str, VariantSet]:
-    """The full synthesis sweep (cached per factors/target)."""
-    return _sweep(tuple(factors), target_spec)
+                  target_spec: str = "acev",
+                  jobs: Optional[int] = None) -> dict[str, VariantSet]:
+    """The full synthesis sweep (parallel; cached in-process + on disk).
+
+    ``jobs`` only steers how the sweep is *computed*; results are
+    identical for any worker count, so the memo is keyed by
+    (factors, target) alone and later calls with a different ``jobs``
+    return the memoized sweep.
+    """
+    key = (tuple(factors), target_spec)
+    if key not in _SWEEP_MEMO:
+        _SWEEP_MEMO[key] = _sweep(tuple(factors), target_spec, jobs=jobs)
+    return _SWEEP_MEMO[key]
+
+
+def clear_caches() -> None:
+    """Drop the in-process sweep memo *and* the persistent result cache.
+
+    Test/benchmark hook: guarantees the next sweep recomputes from
+    scratch, so timing runs and hermetic tests are not contaminated by
+    earlier processes.
+    """
+    from repro.explore import ResultCache
+    from repro.nimble.compiler import _kernel_program
+    _SWEEP_MEMO.clear()
+    _kernel_program.cache_clear()
+    ResultCache().clear()
 
 
 def format_table_6_2(sweep: dict[str, VariantSet]) -> str:

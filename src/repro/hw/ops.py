@@ -112,6 +112,16 @@ class OperatorLibrary:
         """Ablation: registers packed into shift registers (§4.4/§6.3)."""
         return replace(self, reg_rows=rows_per_register, table=dict(self.table))
 
+    def with_op_delay(self, op: str, delay: int) -> "OperatorLibrary":
+        """Override one operator class's latency (design-space axis)."""
+        table = dict(self.table)
+        try:
+            spec = table[op]
+        except KeyError:
+            raise KeyError(f"unknown operator {op!r}; have {sorted(table)}")
+        table[op] = OpSpec(delay=delay, rows=spec.rows)
+        return replace(self, table=table)
+
 
 #: Default target: the ACEV board of §6.1 (2 memory references/cycle).
 ACEV_LIBRARY = OperatorLibrary(name="acev", mem_ports=2)

@@ -47,6 +47,9 @@ class DesignPoint:
     def label(self) -> str:
         if self.variant in ("original", "pipelined"):
             return self.variant
+        if self.variant == "jam+squash" and self.squash_ds:
+            return (f"jam({self.factor // self.squash_ds})"
+                    f"+squash({self.squash_ds})")
         return f"{self.variant}({self.factor})"
 
     @property

@@ -1,7 +1,9 @@
 """Nimble-Compiler-style driver: profiling, kernel selection, variant
 compilation onto a parametric reconfigurable target (thesis Ch. 5)."""
 
-from repro.nimble.target import ACEV, GARP, Target, target_by_name  # noqa: F401
+from repro.nimble.target import (  # noqa: F401
+    ACEV, GARP, Target, decode_target, target_by_name,
+)
 from repro.nimble.profile import (  # noqa: F401
     LoopProfile, ProfileSummary, profile_program, profile_summary,
 )
@@ -10,5 +12,5 @@ from repro.nimble.kernel import (  # noqa: F401
 )
 from repro.nimble.compiler import (  # noqa: F401
     VariantSet, compile_jam, compile_jam_squash, compile_original,
-    compile_pipelined, compile_squash, compile_variants,
+    compile_pipelined, compile_query, compile_squash, compile_variants,
 )

@@ -16,9 +16,15 @@ Every schedule is validated by cycle-level replay
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from functools import lru_cache
+from typing import TYPE_CHECKING, Optional, Sequence
 
-from repro.analysis.loops import LoopNest, find_loop_nests, trip_count
+if TYPE_CHECKING:  # avoid the explore <-> nimble import cycle at runtime
+    from repro.explore.space import DesignQuery, SkipRecord
+
+from repro.analysis.loops import (
+    LoopNest, find_kernel_nests, find_loop_nests, trip_count,
+)
 from repro.core.squash import analyze_nest, unroll_and_squash
 from repro.core.stages import register_chains
 from repro.errors import LegalityError, ScheduleError
@@ -31,8 +37,9 @@ from repro.hw.simulate import simulate_modulo, simulate_sequential
 from repro.ir.nodes import Program
 from repro.nimble.target import ACEV, Target
 
-__all__ = ["VariantSet", "compile_variants", "compile_original",
-           "compile_pipelined", "compile_squash", "compile_jam"]
+__all__ = ["VariantSet", "compile_query", "compile_variants",
+           "compile_original", "compile_pipelined", "compile_squash",
+           "compile_jam"]
 
 _VALIDATE_ITERS = 6
 
@@ -169,6 +176,11 @@ def compile_jam_squash(program: Program, nest: LoopNest, jam: int, ds: int,
                           delay_fn=target.library.delay)
     edges = squash_distances(res.dfg, res.stages)
     sched = modulo_schedule(res.dfg, target.library, edges=edges)
+    sim = simulate_modulo(res.dfg, target.library, sched, _VALIDATE_ITERS,
+                          edges=edges)
+    if not sim.ok:  # pragma: no cover - defensive
+        raise ScheduleError(
+            f"jam+squash schedule invalid: {sim.violations[:2]}")
     return DesignPoint(
         kernel=program.name, variant="jam+squash", factor=jam * ds,
         ii=sched.ii,
@@ -179,6 +191,60 @@ def compile_jam_squash(program: Program, nest: LoopNest, jam: int, ds: int,
         rec_mii=sched.rec_mii, res_mii=sched.res_mii,
         outer_trip=outer_trip, inner_trip=inner_trip,
         base_ii=base_ii, schedule_length=sched.length, squash_ds=ds)
+
+
+@lru_cache(maxsize=32)
+def _kernel_program(kernel: str):
+    """Per-process memo of (program, kernel nest) for one benchmark.
+
+    Benchmark builds are deterministic and the transforms never mutate
+    their input program, so every query against the same kernel can
+    share one build — as the pre-engine serial sweep did.
+    """
+    from repro.workloads import benchmark_by_name
+    bm = benchmark_by_name(kernel)
+    prog = bm.build(**bm.eval_kwargs)
+    nests = find_kernel_nests(prog) or find_loop_nests(prog)
+    return prog, (nests[0] if nests else None)
+
+
+def compile_query(query: "DesignQuery") -> "DesignPoint | SkipRecord":
+    """Compile one :class:`repro.explore.space.DesignQuery` — the pure,
+    picklable worker the exploration engine dispatches.
+
+    Builds the named benchmark at evaluation scale, selects its kernel
+    nest, decodes the target spec, and compiles the requested variant.
+    Designs the compiler rejects come back as structured
+    :class:`SkipRecord` entries (``phase`` = ``"legality"`` or
+    ``"schedule"``); any other exception propagates.  The result is a
+    function of the query alone — no ambient state — so it is safe to
+    evaluate in any process, in any order, and to cache by query hash.
+    """
+    from repro.explore.space import SkipRecord
+    from repro.nimble.target import decode_target
+
+    try:
+        prog, nest = _kernel_program(query.kernel)
+        if nest is None:
+            return SkipRecord(query, "legality",
+                              f"no loop nest in {query.kernel!r}")
+        target = decode_target(query.target_spec)
+        if query.variant == "original":
+            return compile_original(prog, nest, target)
+        if query.variant == "pipelined":
+            return compile_pipelined(prog, nest, target)
+        if query.variant == "squash":
+            return compile_squash(prog, nest, query.ds, target)
+        if query.variant == "jam":
+            return compile_jam(prog, nest, query.ds, target)
+        if query.variant == "jam+squash":
+            return compile_jam_squash(prog, nest, query.jam, query.ds,
+                                      target)
+        raise ValueError(f"unknown variant {query.variant!r}")
+    except LegalityError as exc:
+        return SkipRecord(query, "legality", str(exc))
+    except ScheduleError as exc:
+        return SkipRecord(query, "schedule", str(exc))
 
 
 def compile_variants(program: Program, nest: Optional[LoopNest] = None,

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.hw.ops import ACEV_LIBRARY, GARP_LIBRARY, OperatorLibrary
 
-__all__ = ["Target", "ACEV", "GARP", "target_by_name"]
+__all__ = ["Target", "ACEV", "GARP", "decode_target", "target_by_name"]
 
 
 @dataclass
@@ -38,6 +38,15 @@ class Target:
                       self.library.with_packed_registers(rows_per_register),
                       self.clock_mhz, self.description)
 
+    def with_clock(self, clock_mhz: float) -> "Target":
+        return Target(f"{self.name}-c{clock_mhz:g}", self.library,
+                      clock_mhz, self.description)
+
+    def with_op_delay(self, op: str, delay: int) -> "Target":
+        return Target(f"{self.name}-{op}{delay}",
+                      self.library.with_op_delay(op, delay),
+                      self.clock_mhz, self.description)
+
 
 ACEV = Target(
     "acev", ACEV_LIBRARY, clock_mhz=40.0,
@@ -57,3 +66,35 @@ def target_by_name(name: str) -> Target:
         return _TARGETS[name]
     except KeyError:
         raise KeyError(f"unknown target {name!r}; have {sorted(_TARGETS)}")
+
+
+def decode_target(spec: str) -> Target:
+    """Decode a target spec string into a :class:`Target`.
+
+    A spec is a base target name optionally followed by ``::`` and
+    comma-separated modifiers::
+
+        acev
+        acev::ports=1
+        acev::reg_rows=0.25,clock=66
+        garp::delay.mul=4,ports=2
+
+    Modifiers: ``ports`` (memory references/cycle), ``reg_rows`` (rows
+    per register, the packing ablation), ``clock`` (MHz), and
+    ``delay.<op>`` (operator latency override in cycles).
+    """
+    name, _, mods = spec.partition("::")
+    target = target_by_name(name)
+    for mod in filter(None, mods.split(",")):
+        key, _, val = mod.partition("=")
+        if key == "ports":
+            target = target.with_mem_ports(int(val))
+        elif key == "reg_rows":
+            target = target.with_packed_registers(float(val))
+        elif key == "clock":
+            target = target.with_clock(float(val))
+        elif key.startswith("delay."):
+            target = target.with_op_delay(key[len("delay."):], int(val))
+        else:
+            raise KeyError(f"unknown target modifier {key!r}")
+    return target

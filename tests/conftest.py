@@ -2,10 +2,29 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.ir import F64, I32, U8, U16, U32, ProgramBuilder
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_cache(tmp_path_factory):
+    """Point the persistent exploration cache at a per-session tmp dir.
+
+    Keeps test runs hermetic (no hits from earlier processes) and keeps
+    ``.repro_cache/`` out of the working tree.
+    """
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = \
+        str(tmp_path_factory.mktemp("repro_cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
 
 
 def build_fig21(m: int = 8, n: int = 4):

@@ -1,0 +1,91 @@
+"""Persistent result cache: hit/miss across simulated runs, isolation."""
+
+from repro.explore import (
+    DesignQuery, NullCache, ResultCache, SkipRecord, code_version,
+)
+from repro.hw.report import DesignPoint
+
+
+def _point(kernel="iir", variant="squash", factor=2, ii=7) -> DesignPoint:
+    return DesignPoint(kernel=kernel, variant=variant, factor=factor,
+                       ii=ii, op_rows=100, registers=20, reg_rows=1.0,
+                       rec_mii=2, res_mii=1, outer_trip=16, inner_trip=64,
+                       schedule_length=9)
+
+
+class TestResultCache:
+    def test_miss_then_hit_across_instances(self, tmp_path):
+        q = DesignQuery("iir", "squash", ds=2)
+        first = ResultCache(tmp_path)
+        assert first.get(q) is None
+        first.put(q, _point())
+        assert first.stats.misses == 1 and first.stats.stores == 1
+
+        # a "second run": fresh instance over the same directory
+        second = ResultCache(tmp_path)
+        got = second.get(q)
+        assert isinstance(got, DesignPoint) and got == _point()
+        assert second.stats.hits == 1 and second.stats.misses == 0
+        assert second.stats.hit_rate == 1.0
+
+    def test_get_returns_fresh_objects(self, tmp_path):
+        q = DesignQuery("iir", "squash", ds=2)
+        cache = ResultCache(tmp_path)
+        cache.put(q, _point())
+        a, b = cache.get(q), cache.get(q)
+        assert a == b and a is not b
+        a.base_ii = 999  # mutating a hit must not corrupt the store
+        assert cache.get(q).base_ii is None
+
+    def test_skip_records_roundtrip(self, tmp_path):
+        q = DesignQuery("wavelet", "squash", ds=4)
+        cache = ResultCache(tmp_path)
+        cache.put(q, SkipRecord(q, "legality", "rejected"))
+        got = ResultCache(tmp_path).get(q)
+        assert isinstance(got, SkipRecord)
+        assert got.phase == "legality" and got.query == q
+
+    def test_version_partitions_results(self, tmp_path):
+        q = DesignQuery("iir", "squash", ds=2)
+        ResultCache(tmp_path, version="aaa").put(q, _point())
+        assert ResultCache(tmp_path, version="bbb").get(q) is None
+        assert ResultCache(tmp_path, version="aaa").get(q) is not None
+
+    def test_clear_drops_every_version(self, tmp_path):
+        q = DesignQuery("iir", "squash", ds=2)
+        for ver in ("aaa", "bbb"):
+            ResultCache(tmp_path, version=ver).put(q, _point())
+        cache = ResultCache(tmp_path, version="aaa")
+        cache.clear()
+        assert cache.get(q) is None
+        assert ResultCache(tmp_path, version="bbb").get(q) is None
+
+    def test_tolerates_torn_writes(self, tmp_path):
+        q = DesignQuery("iir", "squash", ds=2)
+        cache = ResultCache(tmp_path)
+        cache.put(q, _point())
+        with cache.path.open("a") as fh:
+            fh.write('{"hash": "truncated...')  # crash mid-append
+        reread = ResultCache(tmp_path)
+        assert reread.get(q) == _point()
+
+    def test_put_is_idempotent(self, tmp_path):
+        q = DesignQuery("iir", "squash", ds=2)
+        cache = ResultCache(tmp_path)
+        cache.put(q, _point())
+        cache.put(q, _point())
+        assert cache.stats.stores == 1
+        assert len(ResultCache(tmp_path)) == 1
+
+    def test_code_version_is_stable_and_short(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 12
+
+
+class TestNullCache:
+    def test_never_hits(self):
+        q = DesignQuery("iir", "squash", ds=2)
+        cache = NullCache()
+        cache.put(q, _point())
+        assert cache.get(q) is None
+        assert cache.stats.misses == 1 and cache.stats.stores == 0

@@ -1,0 +1,82 @@
+"""Pareto extraction on hand-built point sets + ranking semantics."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.explore import dominates, pareto_front
+
+
+@dataclass
+class P:
+    """Hand-built stand-in exposing the three default objective attrs."""
+
+    ii: int
+    area_rows: float
+    registers: int
+
+
+class TestDominance:
+    def test_strictly_better_everywhere(self):
+        assert dominates(P(1, 10, 5), P(2, 20, 9))
+
+    def test_equal_does_not_dominate(self):
+        a = P(3, 30, 7)
+        assert not dominates(a, P(3, 30, 7))
+
+    def test_tie_on_some_axes_still_dominates(self):
+        assert dominates(P(3, 30, 6), P(3, 30, 7))
+
+    def test_tradeoff_is_incomparable(self):
+        fast_big = P(1, 100, 10)
+        slow_small = P(10, 10, 10)
+        assert not dominates(fast_big, slow_small)
+        assert not dominates(slow_small, fast_big)
+
+
+class TestParetoFront:
+    def test_hand_built_front(self):
+        # classic staircase: three non-dominated + two dominated
+        a = P(1, 100, 50)   # fastest, big
+        b = P(5, 50, 20)    # middle
+        c = P(20, 10, 5)    # slowest, tiny
+        d = P(6, 60, 25)    # dominated by b
+        e = P(20, 100, 50)  # dominated by a, b, c
+        front = pareto_front([a, d, b, e, c])
+        assert front == [a, b, c]
+
+    def test_single_point_is_front(self):
+        p = P(1, 1, 1)
+        assert pareto_front([p]) == [p]
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    def test_duplicates_all_survive(self):
+        a, b = P(1, 1, 1), P(1, 1, 1)
+        assert pareto_front([a, b]) == [a, b]
+
+    def test_custom_keys(self):
+        lo = P(1, 99, 99)
+        hi = P(9, 1, 1)
+        assert pareto_front([lo, hi], keys=(lambda p: p.ii,)) == [lo]
+
+    def test_front_invariant_under_reordering(self):
+        pts = [P(1, 100, 50), P(5, 50, 20), P(6, 60, 25), P(20, 10, 5)]
+        front = pareto_front(pts)
+        reordered = pareto_front(list(reversed(pts)))
+        assert {id(p) for p in front} == {id(p) for p in reordered}
+
+    def test_no_point_in_front_is_dominated(self):
+        pts = [P(i, 100 - 3 * i, (7 * i) % 23) for i in range(20)]
+        front = pareto_front(pts)
+        for p in front:
+            assert not any(dominates(q, p) for q in pts)
+
+
+class TestObjectives:
+    def test_unknown_objective_raises(self):
+        from repro.explore import ExploreResult, best_designs
+        empty = ExploreResult(queries=[], results=[])
+        with pytest.raises(KeyError, match="efficiency"):
+            best_designs(empty, objective="banana")

@@ -3,10 +3,10 @@
 import pytest
 
 from repro.harness import (
-    figure_series, format_fig_2_4, format_figure, format_table_1_1,
-    format_table_6_1, format_table_6_2, format_table_6_3, render_series,
-    render_table, render_timeline, run_fig_2_4, run_table_1_1,
-    run_table_6_1, run_table_6_2, run_table_6_3,
+    clear_caches, figure_series, format_fig_2_4, format_figure,
+    format_table_1_1, format_table_6_1, format_table_6_2, format_table_6_3,
+    render_series, render_table, render_timeline, run_fig_2_4,
+    run_table_1_1, run_table_6_1, run_table_6_2, run_table_6_3,
 )
 from repro.harness.experiments import _decode_target
 
@@ -91,3 +91,24 @@ class TestRunners:
         text = format_fig_2_4(data)
         assert "jam" in text and "squash" in text
         assert data["squash"][0].ii == 1
+
+
+class TestSweepCaching:
+    """The persistent-cache rewiring of the Table 6.2 sweep."""
+
+    def test_clear_caches_forces_recompute_same_artifact(self):
+        s1 = run_table_6_2(factors=(2,))
+        clear_caches()
+        s2 = run_table_6_2(factors=(2,))
+        assert s2 is not s1  # memo really dropped
+        assert format_table_6_2(s2) == format_table_6_2(s1)
+
+    def test_persistent_cache_survives_memo_clear(self):
+        from repro.harness import experiments
+        run_table_6_2(factors=(2,))
+        experiments._SWEEP_MEMO.clear()  # simulate a fresh process
+        from repro.explore import ResultCache
+        assert len(ResultCache()) > 0
+        s2 = run_table_6_2(factors=(2,))
+        assert set(s2) == {"skipjack-mem", "skipjack-hw", "des-mem",
+                           "des-hw", "iir"}

@@ -42,3 +42,67 @@ class TestCLI:
     def test_garp_target(self, capsys):
         assert main(["squash", "des-hw", "--ds", "2",
                      "--target", "garp"]) == 0
+
+
+class TestExploreCommand:
+    def test_pareto_and_cache_hits_on_second_run(self, tmp_path, capsys):
+        argv = ["explore", "--kernel", "iir", "--factors", "2",
+                "--jobs", "2", "--pareto",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "Pareto frontier" in first
+        assert "0 hits" in first
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "100% hit rate" in second
+        # identical designs either way
+        assert first.split("cache:")[0].split("\n", 1)[0] == \
+            second.split("cache:")[0].split("\n", 1)[0]
+
+    def test_no_cache_never_hits(self, tmp_path, capsys):
+        argv = ["explore", "--kernel", "iir", "--factors", "2",
+                "--no-cache", "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        assert "0 hits" in capsys.readouterr().out
+
+    def test_best_and_skips_and_out(self, tmp_path, capsys):
+        out = tmp_path / "report.txt"
+        assert main(["explore", "--kernel", "iir", "--kernel", "wavelet",
+                     "--variants", "original", "squash",
+                     "--factors", "2", "--best",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "Best designs" in text and "Skipped designs" in text
+        assert out.exists() and "Best designs" in out.read_text()
+
+    def test_clear_cache_recomputes(self, tmp_path, capsys):
+        argv = ["explore", "--kernel", "iir", "--variants", "original",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--clear-cache"]) == 0
+        assert "0 hits" in capsys.readouterr().out
+
+    def test_combined_variant_target_spec(self, tmp_path, capsys):
+        assert main(["explore", "--kernel", "iir",
+                     "--variants", "original", "jam+squash",
+                     "--factors", "2", "--jam-factors", "2",
+                     "--target", "acev::ports=1", "--pareto",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "jam(2)+squash(2)" in out and "acev::ports=1" in out
+
+
+class TestMainModuleAlias:
+    def test_python_dash_m_repro(self, monkeypatch, capsys):
+        import runpy
+        import sys
+        monkeypatch.setattr(sys, "argv", ["repro", "list"])
+        with pytest.raises(SystemExit) as exc:
+            runpy.run_module("repro", run_name="__main__")
+        assert exc.value.code == 0
+        assert "skipjack-mem" in capsys.readouterr().out
