@@ -1,21 +1,32 @@
 """Benchmarks the exploration engine itself: cold parallel sweep vs a
-fully-cached warm re-run over the Table 6.2 design space.
+fully-cached warm re-run over the Table 6.2 design space, plus the
+shared-analysis ablation.
 
 The cold pass fans the full (kernel x variant x factor) space over the
 process pool; the warm pass replays it from the persistent result cache
 and must be hits-only — the incrementality every repeated sweep, bench,
-and CLI invocation now relies on.
+and CLI invocation now relies on.  The ablation times the same sweep
+with the per-kernel base-analysis cache disabled (the pre-pipeline
+behaviour: every variant re-ran clone/3AC/SSA/DFG) vs enabled, and
+records both wall times in ``results/explore_analysis_cache.json``.
 """
+
+import json
+import os
+import pathlib
+import time
 
 import pytest
 
+import repro
 from repro.explore import (
-    ResultCache, default_jobs, evaluate, format_pareto, format_summary,
-    table_sweep_space,
+    NullCache, ResultCache, default_jobs, evaluate, format_pareto,
+    format_summary, table_sweep_space,
 )
 from repro.workloads import table_6_1_benchmarks
 
 FACTORS = (2, 4, 8, 16)
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 @pytest.fixture(scope="module")
@@ -44,3 +55,78 @@ def test_explore_warm_cache(once, artifact, tmp_path, space):
     assert warm.cache_stats.hits == len(queries)
     assert warm.cache_stats.hit_rate == 1.0
     artifact("explore_cache", format_summary(warm))
+
+
+def _timed_sweep(queries, share_analysis: bool) -> float:
+    """One in-process sweep (jobs=1, no result cache), timed.
+
+    ``share_analysis=False`` reproduces the pre-pipeline compiler: the
+    base analysis of each kernel nest (and every jam transform) is
+    rebuilt for every variant.
+    """
+    repro.clear_caches()
+    old = os.environ.get("REPRO_ANALYSIS_CACHE")
+    os.environ["REPRO_ANALYSIS_CACHE"] = "1" if share_analysis else "0"
+    try:
+        t0 = time.perf_counter()
+        result = evaluate(queries, jobs=1, cache=NullCache())
+        elapsed = time.perf_counter() - t0
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_ANALYSIS_CACHE", None)
+        else:
+            os.environ["REPRO_ANALYSIS_CACHE"] = old
+    assert not result.skips()
+    return elapsed
+
+
+def test_shared_analysis_cache_speedup(once, artifact):
+    """The pipeline's shared analysis must beat per-variant re-analysis
+    on a Table 6.2 x memory-ports ablation sweep (bench JSON artifact).
+
+    The sweep crosses the full variant space with two targets (the §6
+    board and its one-port ablation).  Base analysis and jam transforms
+    are target-independent, so the shared caches compute each once;
+    the unshared path — the pre-pipeline compiler's behaviour — redoes
+    them for every (variant, target) pair.
+    """
+    kernels = [bm.name for bm in table_6_1_benchmarks()]
+    space = table_sweep_space(kernels, FACTORS, "acev") \
+        | table_sweep_space(kernels, FACTORS, "acev::ports=1")
+    queries = space.enumerate()
+    _timed_sweep(queries, True)   # warm-up round, discarded
+    unshared_times: list[float] = []
+    shared_times: list[float] = []
+
+    def rounds():
+        # alternate the paths so neither absorbs all machine warm-up
+        for _ in range(2):
+            unshared_times.append(_timed_sweep(queries, False))
+            shared_times.append(_timed_sweep(queries, True))
+
+    once(rounds)
+    unshared, shared = min(unshared_times), min(shared_times)
+
+    # deterministic check that work was actually skipped (wall-clock can
+    # jitter on loaded machines): the final shared round's caches must
+    # have served most analyses from memory
+    from repro.pipeline import analysis_cache
+    cache = analysis_cache()
+    assert cache.hits > cache.misses > 0, (cache.hits, cache.misses)
+
+    record = {
+        "design_points": len(queries),
+        "unshared_analysis_s": round(unshared, 4),
+        "shared_analysis_s": round(shared, 4),
+        "speedup": round(unshared / shared, 3) if shared else None,
+        "analysis_cache_hits": cache.hits,
+        "analysis_cache_misses": cache.misses,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "explore_analysis_cache.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    artifact("explore_analysis_cache",
+             json.dumps(record, indent=2))
+    # loose wall-clock guard against gross regressions only; the honest
+    # comparison is the recorded JSON
+    assert shared <= unshared * 1.25, record

@@ -1,0 +1,82 @@
+"""Central registry of process-local caches (the ``repro.clear_caches`` hook).
+
+Several layers memoize expensive work within one process — the benchmark
+build memo in :mod:`repro.nimble.compiler`, the shared base-analysis
+cache in :mod:`repro.pipeline.analysis`, the Table 6.2 sweep memo in
+:mod:`repro.harness.experiments`.  Tests and benchmarks need one switch
+that drops *all* of them (plus the persistent on-disk result cache) so
+repeated runs stay hermetic.  Every cache registers a clear function here
+at module import; :func:`clear_caches` runs them all.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+__all__ = ["PinningLRU", "clear_caches", "register_cache"]
+
+_CLEARERS: list[Callable[[], None]] = []
+
+
+class PinningLRU:
+    """Bounded LRU for keys built from object ids.
+
+    ``put`` takes the objects whose ids appear in the key as ``pins``;
+    each entry holds strong references to them, so an id can never be
+    recycled by a *different* live object while its entry exists.  Used
+    by the shared base-analysis cache and the jam-transform memo.
+    """
+
+    def __init__(self, maxsize: int):
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: "OrderedDict[Hashable, tuple[tuple, Any]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Hashable) -> Any:
+        entry = self._data.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._data.move_to_end(key)
+        return entry[1]
+
+    def put(self, key: Hashable, pins: tuple, value: Any) -> Any:
+        self._data[key] = (pins, value)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+def register_cache(clear_fn: Callable[[], None]) -> Callable[[], None]:
+    """Register a cache's clear function with the global hook.
+
+    Returns the function unchanged so it can be used as a decorator.
+    Registration is idempotent per function object.
+    """
+    if clear_fn not in _CLEARERS:
+        _CLEARERS.append(clear_fn)
+    return clear_fn
+
+
+def clear_caches() -> None:
+    """Drop every registered process-local cache and the persistent
+    exploration result cache.
+
+    The one hook tests/benchmarks call to guarantee the next sweep
+    recomputes from scratch.
+    """
+    for fn in list(_CLEARERS):
+        fn()
+    from repro.explore.cache import ResultCache
+    ResultCache().clear()

@@ -8,10 +8,11 @@ Commands
                 synthesis sweep runs through the exploration engine
                 (``--jobs`` workers, persistent result cache);
 ``explore``     free-form design-space exploration: pick kernels,
-                variants, DS/J factors, and a target spec; evaluates the
-                space in parallel through the persistent cache and
-                reports the Pareto frontier (``--pareto``), the
-                best-design ranking (``--best``), and skip records;
+                variants, DS/J factors, target specs, and scheduling
+                strategies (``--scheduler``); evaluates the space in
+                parallel through the persistent cache and reports the
+                Pareto frontier (``--pareto``), the best-design ranking
+                (``--best``), and skip records;
 ``profile``     Table 1.1-style loop profile of one benchmark;
 ``squash``      transform one benchmark kernel, verify it, and report the
                 hardware estimate;
@@ -23,6 +24,8 @@ Exploration examples::
     python -m repro explore --kernel des-mem --kernel des-hw \\
         --variants squash jam jam+squash --factors 2 4 --jam-factors 2 \\
         --target acev::ports=1 --best --out results.txt
+    python -m repro explore --kernel iir --factors 2 4 \\
+        --scheduler modulo --scheduler backtrack --pareto
 
 The result cache lives under ``.repro_cache/`` (override with
 ``REPRO_CACHE_DIR``); ``--no-cache`` bypasses it and ``--clear-cache``
@@ -67,7 +70,8 @@ def _cmd_tables(args) -> int:
     needs_sweep = any(want(x) for x in
                       ("6.2", "6.3", "fig6.1", "fig6.2", "fig6.3", "fig6.4"))
     if needs_sweep:
-        sweep = run_table_6_2(factors, args.target, jobs=args.jobs)
+        sweep = run_table_6_2(factors, args.target, jobs=args.jobs,
+                              scheduler=args.scheduler)
         if want("6.2"):
             artifacts["table_6_2"] = format_table_6_2(sweep)
         norm = run_table_6_3(sweep)
@@ -104,6 +108,7 @@ def _cmd_explore(args) -> int:
         factors=tuple(args.factors),
         jam_factors=tuple(args.jam_factors),
         target_specs=tuple(args.target or ["acev"]),
+        schedulers=tuple(args.scheduler or [""]),
     )
     if args.clear_cache:  # honor the clear even when bypassing the cache
         ResultCache(args.cache_dir).clear()
@@ -198,6 +203,9 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--out", help="write artifacts to this directory")
     t.add_argument("--jobs", type=int, default=None,
                    help="parallel sweep workers (default: cores, capped)")
+    t.add_argument("--scheduler", default="",
+                   help="scheduling strategy for pipelined variants "
+                        "(default: the target's; see repro.hw.schedulers)")
     t.set_defaults(fn=_cmd_tables)
 
     e = sub.add_parser(
@@ -216,6 +224,10 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--target", action="append", default=None,
                    help="target spec (repeatable): acev | garp | "
                         "acev::ports=N,reg_rows=X,clock=MHz,delay.op=N")
+    e.add_argument("--scheduler", action="append", default=None,
+                   help="scheduling strategy for pipelined variants "
+                        "(repeatable; e.g. modulo, backtrack; default: "
+                        "the target's)")
     e.add_argument("--jobs", type=int, default=None,
                    help="parallel workers (default: cores, capped)")
     e.add_argument("--pareto", action="store_true",

@@ -42,7 +42,28 @@ from repro.transforms._util import find_in_clone
 from repro.transforms.three_address import is_three_address, lower_block_to_3ac
 
 __all__ = ["SquashResult", "unroll_and_squash", "jam_then_squash",
-           "analyze_nest"]
+           "analyze_front", "analyze_nest", "locate_jammed_nest"]
+
+
+def locate_jammed_nest(jammed: Program, nest: LoopNest,
+                       factor: int) -> LoopNest:
+    """Find the fused nest after unroll-and-jam of ``nest`` by ``factor``.
+
+    Candidates are nests with a constant inner trip count; preferred is
+    the one whose outer loop kept ``nest``'s IV and grew its step by the
+    jam factor, with the first candidate as fallback.  Shared by
+    :func:`jam_then_squash` and the pipeline's jam+squash transform so
+    the software emitter and the hardware path always pick the same
+    nest.  Raises :class:`LegalityError` when no candidate exists.
+    """
+    nests = [n for n in find_loop_nests(jammed)
+             if trip_count(n.inner) is not None]
+    if not nests:
+        raise LegalityError("no loop nest found after unroll-and-jam")
+    step = nest.outer.step * min(factor, trip_count(nest.outer) or factor)
+    return next((n for n in nests
+                 if n.outer.var == nest.outer.var
+                 and n.outer.step == step), nests[0])
 
 
 @dataclass
@@ -63,6 +84,40 @@ class SquashResult:
         return self.chains.total_registers
 
 
+def analyze_front(program: Program, nest: LoopNest, liveness
+                  ) -> tuple[Program, LoopNest, SSABlock, DFG,
+                             set[str], set[str]]:
+    """The DS-independent front half of the analysis: clone, 3AC
+    lowering, SSA renaming, carried/invariant derivation, DFG build.
+
+    Shared by :func:`analyze_nest` and the pipeline's per-kernel
+    analysis cache (:mod:`repro.pipeline.analysis`), so both always see
+    the identical graph.  ``liveness`` is the nest's
+    :class:`~repro.analysis.usedef.LoopLiveness` (DS-independent).
+    """
+    work = clone_program(program)
+    w_outer: For = find_in_clone(work, program, nest.outer)  # type: ignore
+    w_inner: For = find_in_clone(work, program, nest.inner)  # type: ignore
+    w_nest = LoopNest(w_outer, w_inner)
+
+    if not is_three_address(w_inner.body):
+        w_inner.body = lower_block_to_3ac(work, w_inner.body)
+
+    extra = set()
+    if w_inner.var in variables_read(w_inner.body):
+        extra.add(w_inner.var)
+    ssa = ssa_rename(w_inner.body, work.scalar_type, extra_live_in=extra)
+
+    rom_arrays = frozenset(n for n, d in work.arrays.items() if d.rom)
+    carried = {x for x in liveness.carried if x in ssa.entry}
+    invariant = {x for x in ssa.entry
+                 if x not in carried and x != w_inner.var}
+    dfg = build_dfg(ssa, carried, invariant, rom_arrays,
+                    inner_iv=w_inner.var if w_inner.var in ssa.entry else None,
+                    iv_step=w_inner.step)
+    return work, w_nest, ssa, dfg, carried, invariant
+
+
 def analyze_nest(program: Program, nest: LoopNest, ds: int,
                  delay_fn: Optional[Callable] = None,
                  ) -> tuple[Program, LoopNest, SSABlock, DFG, StageAssignment,
@@ -75,28 +130,9 @@ def analyze_nest(program: Program, nest: LoopNest, ds: int,
     check = check_squash(program, nest, ds)
     check.raise_if_failed()
 
-    work = clone_program(program)
-    w_outer: For = find_in_clone(work, program, nest.outer)  # type: ignore
-    w_inner: For = find_in_clone(work, program, nest.inner)  # type: ignore
-    w_nest = LoopNest(w_outer, w_inner)
-
-    if not is_three_address(w_inner.body):
-        w_inner.body = lower_block_to_3ac(work, w_inner.body)
-
     live = check.liveness
     assert live is not None
-    extra = set()
-    if w_inner.var in variables_read(w_inner.body):
-        extra.add(w_inner.var)
-    ssa = ssa_rename(w_inner.body, work.scalar_type, extra_live_in=extra)
-
-    rom_arrays = frozenset(n for n, d in work.arrays.items() if d.rom)
-    carried = {x for x in live.carried if x in ssa.entry}
-    invariant = {x for x in ssa.entry
-                 if x not in carried and x != w_inner.var}
-    dfg = build_dfg(ssa, carried, invariant, rom_arrays,
-                    inner_iv=w_inner.var if w_inner.var in ssa.entry else None,
-                    iv_step=w_inner.step)
+    work, w_nest, ssa, dfg, _, _ = analyze_front(program, nest, live)
     sa = assign_stages(dfg, ds, delay_fn or default_delay)
     # re-derive live-out for chain accounting
     return work, w_nest, ssa, dfg, sa, check
@@ -190,13 +226,5 @@ def jam_then_squash(program: Program, nest: LoopNest, jam: int, ds: int,
     from repro.transforms.unroll_and_jam import unroll_and_jam
 
     jammed = unroll_and_jam(program, nest, jam)
-    nests = [n for n in find_loop_nests(jammed)
-             if trip_count(n.inner) is not None]
-    if not nests:
-        raise LegalityError("no loop nest found after unroll-and-jam")
-    # the jammed nest is the one whose outer step grew by the jam factor
-    target = next((n for n in nests
-                   if n.outer.var == nest.outer.var
-                   and n.outer.step == nest.outer.step * min(
-                       jam, trip_count(nest.outer) or jam)), nests[0])
+    target = locate_jammed_nest(jammed, nest, jam)
     return unroll_and_squash(jammed, target, ds, delay_fn)

@@ -44,6 +44,9 @@ class DesignQuery:
     ds: int = 1
     jam: int = 1
     target_spec: str = "acev"
+    #: scheduling strategy for pipelined variants ("" = target default);
+    #: see :func:`repro.hw.schedulers.available_schedulers`
+    scheduler: str = ""
 
     def __post_init__(self):
         if self.variant not in VARIANTS:
@@ -52,20 +55,29 @@ class DesignQuery:
         if self.ds < 1 or self.jam < 1:
             raise ValueError(f"factors must be >= 1: ds={self.ds}, "
                              f"jam={self.jam}")
+        if self.scheduler:
+            from repro.hw.schedulers import scheduler_by_name
+            try:
+                scheduler_by_name(self.scheduler)
+            except KeyError as exc:
+                raise ValueError(exc.args[0]) from None
         # Normalize factors the variant ignores, so semantically identical
         # designs hash (and cache) identically.
         if self.variant in _FACTORLESS and self.ds != 1:
             object.__setattr__(self, "ds", 1)
         if self.variant != "jam+squash" and self.jam != 1:
             object.__setattr__(self, "jam", 1)
+        # The original design is list-scheduled regardless of strategy.
+        if self.variant == "original" and self.scheduler:
+            object.__setattr__(self, "scheduler", "")
 
     @property
     def label(self) -> str:
-        if self.variant in _FACTORLESS:
-            return self.variant
-        if self.variant == "jam+squash":
-            return f"jam({self.jam})+squash({self.ds})"
-        return f"{self.variant}({self.ds})"
+        from repro.hw.report import variant_label
+        base = variant_label(self.variant, self.ds, self.jam)
+        if self.scheduler:
+            return f"{base}@{self.scheduler}"
+        return base
 
     def to_dict(self) -> dict:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -111,6 +123,8 @@ class DesignSpace:
     factors: tuple[int, ...] = (2, 4, 8, 16)
     jam_factors: tuple[int, ...] = (2,)
     target_specs: tuple[str, ...] = ("acev",)
+    #: scheduling strategies to sweep ("" = each target's default)
+    schedulers: tuple[str, ...] = ("",)
     #: extra spaces unioned in by ``|`` (kept for composability)
     extra: tuple["DesignSpace", ...] = field(default=(), repr=False)
 
@@ -124,24 +138,28 @@ class DesignSpace:
             return NotImplemented
         return DesignSpace(self.kernels, self.variants, self.factors,
                            self.jam_factors, self.target_specs,
-                           extra=self.extra + (other,))
+                           self.schedulers, extra=self.extra + (other,))
 
     def _own_queries(self) -> Iterator[DesignQuery]:
         for target in self.target_specs:
-            for kernel in self.kernels:
-                for variant in self.variants:
-                    if variant in _FACTORLESS:
-                        yield DesignQuery(kernel, variant,
-                                          target_spec=target)
-                    elif variant == "jam+squash":
-                        for j in self.jam_factors:
+            for sched in self.schedulers:
+                for kernel in self.kernels:
+                    for variant in self.variants:
+                        if variant in _FACTORLESS:
+                            yield DesignQuery(kernel, variant,
+                                              target_spec=target,
+                                              scheduler=sched)
+                        elif variant == "jam+squash":
+                            for j in self.jam_factors:
+                                for ds in self.factors:
+                                    yield DesignQuery(
+                                        kernel, variant, ds=ds, jam=j,
+                                        target_spec=target, scheduler=sched)
+                        else:
                             for ds in self.factors:
                                 yield DesignQuery(kernel, variant, ds=ds,
-                                                  jam=j, target_spec=target)
-                    else:
-                        for ds in self.factors:
-                            yield DesignQuery(kernel, variant, ds=ds,
-                                              target_spec=target)
+                                                  target_spec=target,
+                                                  scheduler=sched)
 
     def enumerate(self) -> list[DesignQuery]:
         """All queries of this space (and unioned spaces), deduplicated."""
@@ -164,9 +182,11 @@ class DesignSpace:
 
 def table_sweep_space(kernels: Sequence[str],
                       factors: Sequence[int] = (2, 4, 8, 16),
-                      target_spec: str = "acev") -> DesignSpace:
+                      target_spec: str = "acev",
+                      scheduler: str = "") -> DesignSpace:
     """The Table 6.2 space: original + pipelined + squash/jam per factor."""
     return DesignSpace(kernels=tuple(kernels),
                        variants=("original", "pipelined", "squash", "jam"),
                        factors=tuple(factors),
-                       target_specs=(target_spec,))
+                       target_specs=(target_spec,),
+                       schedulers=(scheduler,))

@@ -16,6 +16,8 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.analysis.loops import find_kernel_nests
+from repro.caches import clear_caches as central_clear_caches
+from repro.caches import register_cache
 from repro.harness.tables import render_series, render_table, render_timeline
 from repro.hw import (
     NormalizedPoint, modulo_schedule, normalize, occupancy_timeline,
@@ -83,27 +85,30 @@ def format_table_6_1(benchmarks) -> str:
 # ---------------------------------------------------------------------------
 
 #: Process-local memo on top of the persistent cache: same (factors,
-#: target) arguments return the *same* VariantSet objects within one
-#: process, as the old ``lru_cache`` did.
-_SWEEP_MEMO: dict[tuple[tuple[int, ...], str], dict[str, VariantSet]] = {}
+#: target, scheduler) arguments return the *same* VariantSet objects
+#: within one process, as the old ``lru_cache`` did.
+_SWEEP_MEMO: dict[tuple[tuple[int, ...], str, str],
+                  dict[str, VariantSet]] = {}
 
 #: Alias kept for callers of the old private helper.
 _decode_target = decode_target
 
 
 def _sweep(factors: tuple[int, ...], target_spec: str,
-           jobs: Optional[int] = None) -> dict[str, VariantSet]:
+           jobs: Optional[int] = None,
+           scheduler: str = "") -> dict[str, VariantSet]:
     """Run the Table 6.2 sweep through the exploration engine.
 
     Produces exactly the points ``compile_variants`` would — original,
     pipelined, squash(DS), jam(DS) per kernel, with squash/jam costed
     against the original II — but evaluated in parallel and memoized in
-    the persistent result cache.
+    the persistent result cache.  ``scheduler`` selects the strategy for
+    every pipelined variant ("" = the target's default).
     """
     from repro.explore import ResultCache, evaluate, table_sweep_space
 
     kernels = [bm.name for bm in table_6_1_benchmarks()]
-    space = table_sweep_space(kernels, factors, target_spec)
+    space = table_sweep_space(kernels, factors, target_spec, scheduler)
     result = evaluate(space.enumerate(), jobs=jobs, cache=ResultCache())
     for skip in result.skips():  # pragma: no cover - defensive
         raise RuntimeError(
@@ -128,32 +133,29 @@ def _sweep(factors: tuple[int, ...], target_spec: str,
 
 def run_table_6_2(factors: Sequence[int] = (2, 4, 8, 16),
                   target_spec: str = "acev",
-                  jobs: Optional[int] = None) -> dict[str, VariantSet]:
+                  jobs: Optional[int] = None,
+                  scheduler: str = "") -> dict[str, VariantSet]:
     """The full synthesis sweep (parallel; cached in-process + on disk).
 
     ``jobs`` only steers how the sweep is *computed*; results are
     identical for any worker count, so the memo is keyed by
-    (factors, target) alone and later calls with a different ``jobs``
-    return the memoized sweep.
+    (factors, target, scheduler) alone and later calls with a different
+    ``jobs`` return the memoized sweep.
     """
-    key = (tuple(factors), target_spec)
+    key = (tuple(factors), target_spec, scheduler)
     if key not in _SWEEP_MEMO:
-        _SWEEP_MEMO[key] = _sweep(tuple(factors), target_spec, jobs=jobs)
+        _SWEEP_MEMO[key] = _sweep(tuple(factors), target_spec, jobs=jobs,
+                                  scheduler=scheduler)
     return _SWEEP_MEMO[key]
 
 
-def clear_caches() -> None:
-    """Drop the in-process sweep memo *and* the persistent result cache.
+register_cache(_SWEEP_MEMO.clear)
 
-    Test/benchmark hook: guarantees the next sweep recomputes from
-    scratch, so timing runs and hermetic tests are not contaminated by
-    earlier processes.
-    """
-    from repro.explore import ResultCache
-    from repro.nimble.compiler import _kernel_program
-    _SWEEP_MEMO.clear()
-    _kernel_program.cache_clear()
-    ResultCache().clear()
+#: The one hook that drops every process-local cache (the sweep memo,
+#: the benchmark-build memo, the shared base-analysis cache) plus the
+#: persistent result cache.  Re-exported here for backwards
+#: compatibility; canonical home is :func:`repro.clear_caches`.
+clear_caches = central_clear_caches
 
 
 def format_table_6_2(sweep: dict[str, VariantSet]) -> str:

@@ -49,6 +49,66 @@ def squash_distances(dfg: DFG, sa: StageAssignment) -> EdgeView:
     return out
 
 
+def _cycle_edges(edges: EdgeView) -> EdgeView:
+    """Edges that can lie on a cycle: both ends in one strongly connected
+    component (iterative Tarjan).
+
+    RecMII is a maximum over *cycles*, so acyclic regions of the graph —
+    the overwhelming majority of a jammed DFG — cannot affect it.
+    Restricting the Bellman-Ford search to SCC-internal edges preserves
+    the result exactly while shrinking the hot search from O(V*E) over
+    the whole graph to the (tiny) recurrence subgraphs.
+    """
+    adj: dict[int, list[int]] = {}
+    for s, d, _ in edges:
+        adj.setdefault(s.nid, []).append(d.nid)
+        adj.setdefault(d.nid, [])
+
+    index: dict[int, int] = {}
+    low: dict[int, int] = {}
+    comp: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    counter = ncomps = 0
+    for root in adj:
+        if root in index:
+            continue
+        work = [(root, 0)]
+        while work:
+            v, pi = work[-1]
+            if pi == 0:
+                index[v] = low[v] = counter
+                counter += 1
+                stack.append(v)
+                on_stack.add(v)
+            recurse = False
+            for i in range(pi, len(adj[v])):
+                w = adj[v][i]
+                if w not in index:
+                    work[-1] = (v, i + 1)
+                    work.append((w, 0))
+                    recurse = True
+                    break
+                if w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if recurse:
+                continue
+            work.pop()
+            if low[v] == index[v]:
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp[w] = ncomps
+                    if w == v:
+                        break
+                ncomps += 1
+            if work:
+                u, _ = work[-1]
+                low[u] = min(low[u], low[v])
+    return [(s, d, dd) for s, d, dd in edges
+            if comp[s.nid] == comp[d.nid]]
+
+
 def _has_cycle_exceeding(edges: EdgeView, delay: Callable[[DFGNode], int],
                          lam: int) -> bool:
     """Is there a cycle with sum(delay) > lam * sum(distance)?
@@ -78,8 +138,14 @@ def rec_mii(dfg: DFG, delay: Callable[[DFGNode], int],
             edges: Optional[EdgeView] = None) -> int:
     """Recurrence-constrained minimum II (1 if the graph is acyclic)."""
     edges = edges if edges is not None else default_edge_view(dfg)
-    edges = [e for e in edges]
-    hi = sum(delay(n) for n in dfg.nodes) + 1
+    edges = _cycle_edges(list(edges))
+    if not edges:
+        return 1
+    # any cycle's delay is bounded by the cycle-capable nodes' total delay
+    # (and cycle distances are >= 1), so the search range can stop there
+    cycle_nodes = {s.nid: s for s, _, _ in edges}
+    cycle_nodes.update((d.nid, d) for _, d, _ in edges)
+    hi = sum(delay(n) for n in cycle_nodes.values()) + 1
     lo = 0
     # smallest lam with no cycle exceeding lam  ==>  RecMII = lam
     while lo < hi:

@@ -50,9 +50,25 @@ class ModuloSchedule:
         return self.time[node.nid]
 
 
+def _delay_map(dfg: DFG, lib: OperatorLibrary) -> dict[int, int]:
+    """Node-id -> latency memo; the II search re-reads delays O(E * II
+    candidates * repair rounds) times, so one dict beats spec lookups."""
+    return {n.nid: lib.delay(n) for n in dfg.nodes}
+
+
 def _attempt(dfg: DFG, edges: EdgeView, lib: OperatorLibrary, ii: int,
-             extra_lat: dict[int, int]) -> Optional[ModuloSchedule]:
-    delay = lib.delay
+             extra_lat: dict[int, int],
+             order: Optional[list[DFGNode]] = None,
+             dmap: Optional[dict[int, int]] = None
+             ) -> Optional[ModuloSchedule]:
+    """One placement pass at a fixed II.
+
+    ``order`` overrides the node placement order (default: topological
+    order of the distance-0 subgraph).  Non-topological orders are legal:
+    predecessors not yet placed are simply ignored here, and the repair
+    loop in the caller catches the resulting violations.
+    """
+    dmap = dmap if dmap is not None else _delay_map(dfg, lib)
     preds: dict[int, list[tuple[DFGNode, int]]] = {n.nid: [] for n in dfg.nodes}
     for s, d, dist in edges:
         preds[d.nid].append((s, dist))
@@ -60,13 +76,15 @@ def _attempt(dfg: DFG, edges: EdgeView, lib: OperatorLibrary, ii: int,
     time: dict[int, int] = {}
     mrt: dict[int, int] = {}
 
-    for node in dfg.topo_order():
+    for node in (order if order is not None else dfg.topo_order()):
         t = extra_lat.get(node.nid, 0)
         for src, dist in preds[node.nid]:
             if src.nid in time:
-                t = max(t, time[src.nid] + delay(src) - ii * dist)
+                t = max(t, time[src.nid] + dmap[src.nid] - ii * dist)
         t = max(t, 0)
         if lib.uses_mem_port(node):
+            # advance until `t mod II` lands on a row with a free port;
+            # after II steps every row has been probed, so give up.
             for _ in range(ii):
                 row = t % ii
                 if mrt.get(row, 0) < lib.mem_ports:
@@ -74,25 +92,64 @@ def _attempt(dfg: DFG, edges: EdgeView, lib: OperatorLibrary, ii: int,
                 t += 1
             else:
                 return None
-            row = t % ii
-            if mrt.get(row, 0) >= lib.mem_ports:
-                return None
             mrt[row] = mrt.get(row, 0) + 1
         time[node.nid] = t
 
     sched = ModuloSchedule(ii=ii, time=time, rec_mii=0, res_mii=0, mrt=mrt)
-    sched.length = max((time[n.nid] + delay(n) for n in dfg.nodes), default=0)
+    sched.length = max((time[n.nid] + dmap[n.nid] for n in dfg.nodes),
+                       default=0)
     return sched
 
 
 def _violations(dfg: DFG, edges: EdgeView, lib: OperatorLibrary,
-                sched: ModuloSchedule) -> list[tuple[DFGNode, DFGNode, int]]:
+                sched: ModuloSchedule,
+                dmap: Optional[dict[int, int]] = None
+                ) -> list[tuple[DFGNode, DFGNode, int]]:
+    dmap = dmap if dmap is not None else _delay_map(dfg, lib)
     out = []
     for s, d, dist in edges:
         if sched.time[d.nid] + sched.ii * dist < \
-                sched.time[s.nid] + lib.delay(s):
+                sched.time[s.nid] + dmap[s.nid]:
             out.append((s, d, dist))
     return out
+
+
+def _search(dfg: DFG, lib: OperatorLibrary, edges: EdgeView,
+            orders: list[Optional[list[DFGNode]]],
+            max_ii: Optional[int] = None) -> ModuloSchedule:
+    """The II search shared by every modulo strategy.
+
+    For each candidate II (starting at ``max(RecMII, ResMII)``), each
+    placement ``order`` (``None`` = topological) gets the full
+    placement-and-repair budget before the II is abandoned.
+    """
+    dmap = _delay_map(dfg, lib)
+    rmii = rec_mii(dfg, lambda n: dmap[n.nid], edges)
+    smii = res_mii(dfg, lib)
+    start_ii = max(rmii, smii)
+    limit = max_ii or max(start_ii, sum(dmap.values())) + 1
+
+    for ii in range(start_ii, limit + 1):
+        for order in orders:
+            extra: dict[int, int] = {}
+            for _ in range(8):  # a few repair rounds per II and order
+                sched = _attempt(dfg, edges, lib, ii, extra, order=order,
+                                 dmap=dmap)
+                if sched is None:
+                    break
+                bad = _violations(dfg, edges, lib, sched, dmap=dmap)
+                if not bad:
+                    sched.rec_mii = rmii
+                    sched.res_mii = smii
+                    return sched
+                for s, d, dist in bad:
+                    need = sched.time[s.nid] + dmap[s.nid] - ii * dist
+                    extra[d.nid] = max(extra.get(d.nid, 0), need)
+    raise ScheduleError(
+        f"no modulo schedule found up to II={limit} "
+        f"(RecMII={rmii}, ResMII={smii}"
+        + (f", {len(orders)} orderings per II" if len(orders) > 1 else "")
+        + ")")
 
 
 def modulo_schedule(dfg: DFG, lib: OperatorLibrary,
@@ -103,26 +160,4 @@ def modulo_schedule(dfg: DFG, lib: OperatorLibrary,
     ``edges`` overrides the dependence-distance view (used for squash).
     """
     edges = edges if edges is not None else default_edge_view(dfg)
-    rmii = rec_mii(dfg, lib.delay, edges)
-    smii = res_mii(dfg, lib)
-    start_ii = max(rmii, smii)
-    total_delay = sum(lib.delay(n) for n in dfg.nodes)
-    limit = max_ii or max(start_ii, total_delay) + 1
-
-    for ii in range(start_ii, limit + 1):
-        extra: dict[int, int] = {}
-        for _ in range(8):  # a few repair rounds per II
-            sched = _attempt(dfg, edges, lib, ii, extra)
-            if sched is None:
-                break
-            bad = _violations(dfg, edges, lib, sched)
-            if not bad:
-                sched.rec_mii = rmii
-                sched.res_mii = smii
-                return sched
-            for s, d, dist in bad:
-                need = sched.time[s.nid] + lib.delay(s) - ii * dist
-                extra[d.nid] = max(extra.get(d.nid, 0), need)
-    raise ScheduleError(
-        f"no modulo schedule found up to II={limit} "
-        f"(RecMII={rmii}, ResMII={smii})")
+    return _search(dfg, lib, edges, orders=[None], max_ii=max_ii)

@@ -19,7 +19,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["DesignPoint", "NormalizedPoint", "normalize"]
+__all__ = ["DesignPoint", "NormalizedPoint", "normalize", "variant_label"]
+
+
+def variant_label(variant: str, ds: int = 1, jam: int = 1) -> str:
+    """Human-readable design label, e.g. ``jam(2)+squash(4)``.
+
+    The one formatter behind :attr:`DesignPoint.label`,
+    :attr:`repro.explore.space.DesignQuery.label`, and pipeline error
+    provenance, so reported rows and error messages always correlate.
+    """
+    if variant in ("original", "pipelined"):
+        return variant
+    if variant == "jam+squash":
+        return f"jam({jam})+squash({ds})"
+    return f"{variant}({ds})"
 
 
 @dataclass
@@ -45,12 +59,12 @@ class DesignPoint:
 
     @property
     def label(self) -> str:
-        if self.variant in ("original", "pipelined"):
-            return self.variant
-        if self.variant == "jam+squash" and self.squash_ds:
-            return (f"jam({self.factor // self.squash_ds})"
-                    f"+squash({self.squash_ds})")
-        return f"{self.variant}({self.factor})"
+        if self.variant == "jam+squash":
+            if not self.squash_ds:  # pragma: no cover - legacy records
+                return f"{self.variant}({self.factor})"
+            return variant_label(self.variant, self.squash_ds,
+                                 self.factor // self.squash_ds)
+        return variant_label(self.variant, self.factor)
 
     @property
     def area_rows(self) -> float:

@@ -1,0 +1,201 @@
+"""Pluggable scheduler strategies behind one interface (the registry).
+
+The compilation pipeline never calls :func:`repro.hw.listsched.list_schedule`
+or :func:`repro.hw.modulo.modulo_schedule` directly — it resolves a
+:class:`Scheduler` from this registry by name and invokes its ``schedule``
+method.  That makes the scheduler a first-class design-space axis
+(``DesignQuery.scheduler`` / ``repro explore --scheduler``) and the
+extension point future backends plug into:
+
+* ``"list"``      — the non-pipelined ASAP list scheduler (the
+  ``original`` variant; II = iteration makespan);
+* ``"modulo"``    — the iterative modulo scheduler of §3.5 (default for
+  all pipelined variants);
+* ``"backtrack"`` — a backtracking, slack-driven modulo scheduler: at
+  each candidate II it first replays the iterative placement, then
+  retries alternative node orderings (least-slack-first, memory-first)
+  before giving up and moving to the next II.  It therefore never
+  returns a worse II than the iterative scheduler, at the price of more
+  placement attempts per II.
+
+Registering a new strategy::
+
+    from repro.hw.schedulers import register_scheduler
+
+    class MyScheduler:
+        name = "mine"
+        pipelined = True
+        def schedule(self, dfg, lib, edges=None, max_ii=None): ...
+
+    register_scheduler(MyScheduler())
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.core.dfg import DFG, DFGNode
+from repro.hw.listsched import ListSchedule, list_schedule
+from repro.hw.mii import EdgeView, default_edge_view
+from repro.hw.modulo import ModuloSchedule, _search, modulo_schedule
+from repro.hw.ops import OperatorLibrary
+
+__all__ = ["DEFAULT_SCHEDULER", "BacktrackingModuloScheduler",
+           "IterativeModuloScheduler", "ListScheduler", "Scheduler",
+           "available_schedulers", "backtracking_modulo_schedule",
+           "register_scheduler", "scheduler_by_name"]
+
+#: Name resolved when a query/target does not choose a strategy.
+DEFAULT_SCHEDULER = "modulo"
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    """One scheduling strategy the pipeline can be pointed at.
+
+    ``pipelined`` distinguishes modulo-style schedulers (results carry an
+    initiation interval smaller than the makespan and are validated by
+    modulo replay) from sequential ones (validated by back-to-back
+    replay).
+    """
+
+    name: str
+    pipelined: bool
+
+    def schedule(self, dfg: DFG, lib: OperatorLibrary,
+                 edges: Optional[EdgeView] = None,
+                 max_ii: Optional[int] = None
+                 ) -> "ModuloSchedule | ListSchedule":
+        ...  # pragma: no cover - protocol
+
+
+class ListScheduler:
+    """Non-pipelined ASAP list scheduling (the ``original`` design)."""
+
+    name = "list"
+    pipelined = False
+
+    def schedule(self, dfg, lib, edges=None, max_ii=None) -> ListSchedule:
+        return list_schedule(dfg, lib)
+
+
+class IterativeModuloScheduler:
+    """Rau-style iterative modulo scheduling (§3.5) — the default."""
+
+    name = "modulo"
+    pipelined = True
+
+    def schedule(self, dfg, lib, edges=None, max_ii=None) -> ModuloSchedule:
+        return modulo_schedule(dfg, lib, edges=edges, max_ii=max_ii)
+
+
+def _slack_orders(dfg: DFG, edges: EdgeView, lib: OperatorLibrary
+                  ) -> list[list[DFGNode]]:
+    """Alternative placement orders tried after the topological one.
+
+    Slack = ALAP - ASAP over the distance-0 subgraph *of the given edge
+    view* (a squash design's relaxed distances, not the DFG's raw ones):
+    nodes with the least scheduling freedom are placed first, so they
+    claim contested MRT rows before flexible nodes fill them.  The
+    second ordering pulls memory operations (the only shared resource)
+    to the very front.
+    """
+    delay = lib.delay
+    topo = dfg.topo_order()
+    asap: dict[int, int] = {}
+    preds: dict[int, list[DFGNode]] = {n.nid: [] for n in dfg.nodes}
+    succs: dict[int, list[DFGNode]] = {n.nid: [] for n in dfg.nodes}
+    for s, d, dist in edges:
+        if dist == 0:
+            preds[d.nid].append(s)
+            succs[s.nid].append(d)
+    # dfg.topo_order() stays topological here: the view's distance-0
+    # subgraph is a subset of the DFG's (relaxation only adds distance)
+    for n in topo:
+        start = 0
+        for p in preds[n.nid]:
+            start = max(start, asap[p.nid] + delay(p))
+        asap[n.nid] = start
+    length = max((asap[n.nid] + delay(n) for n in dfg.nodes), default=0)
+    alap: dict[int, int] = {}
+    for n in reversed(topo):
+        latest = length - delay(n)
+        for d in succs[n.nid]:
+            if d.nid in alap:
+                latest = min(latest, alap[d.nid] - delay(n))
+        alap[n.nid] = latest
+    slack = {n.nid: alap[n.nid] - asap[n.nid] for n in topo}
+
+    by_slack = sorted(topo, key=lambda n: (slack[n.nid], asap[n.nid], n.nid))
+    mem_first = sorted(topo, key=lambda n: (not lib.uses_mem_port(n),
+                                            slack[n.nid], asap[n.nid], n.nid))
+    orders, seen = [], {tuple(n.nid for n in topo)}
+    for order in (by_slack, mem_first):
+        key = tuple(n.nid for n in order)
+        if key not in seen:
+            seen.add(key)
+            orders.append(order)
+    return orders
+
+
+def backtracking_modulo_schedule(dfg: DFG, lib: OperatorLibrary,
+                                 edges: Optional[EdgeView] = None,
+                                 max_ii: Optional[int] = None
+                                 ) -> ModuloSchedule:
+    """Modulo scheduling that retries node orderings before raising an II.
+
+    For each candidate II (starting at ``max(RecMII, ResMII)``) the
+    iterative scheduler's placement-and-repair loop runs first with the
+    plain topological order; only if that fails does the search backtrack
+    and replay the II with the slack-driven orderings.  Because every II
+    is attempted with at least the iterative order, the first II that
+    succeeds is never larger than the iterative scheduler's.
+    """
+    edges = edges if edges is not None else default_edge_view(dfg)
+    orders: list[Optional[list[DFGNode]]] = [None]  # None = topo order
+    orders += _slack_orders(dfg, edges, lib)
+    return _search(dfg, lib, edges, orders=orders, max_ii=max_ii)
+
+
+class BacktrackingModuloScheduler:
+    """Slack-driven backtracking modulo scheduling (never a worse II)."""
+
+    name = "backtrack"
+    pipelined = True
+
+    def schedule(self, dfg, lib, edges=None, max_ii=None) -> ModuloSchedule:
+        return backtracking_modulo_schedule(dfg, lib, edges=edges,
+                                            max_ii=max_ii)
+
+
+_REGISTRY: dict[str, Scheduler] = {}
+
+
+def register_scheduler(scheduler: Scheduler, *, replace: bool = False
+                       ) -> Scheduler:
+    """Add a strategy to the registry (``replace=True`` to override)."""
+    name = scheduler.name
+    if not replace and name in _REGISTRY:
+        raise ValueError(f"scheduler {name!r} is already registered; "
+                         f"pass replace=True to override")
+    _REGISTRY[name] = scheduler
+    return scheduler
+
+
+def scheduler_by_name(name: str) -> Scheduler:
+    """Resolve a strategy; ``""`` resolves to the default scheduler."""
+    try:
+        return _REGISTRY[name or DEFAULT_SCHEDULER]
+    except KeyError:
+        raise KeyError(f"unknown scheduler {name!r}; "
+                       f"have {available_schedulers()}")
+
+
+def available_schedulers() -> tuple[str, ...]:
+    """Registered strategy names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+register_scheduler(ListScheduler())
+register_scheduler(IterativeModuloScheduler())
+register_scheduler(BacktrackingModuloScheduler())

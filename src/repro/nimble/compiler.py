@@ -9,8 +9,13 @@ For one kernel nest, produce the thesis's ten design points:
 * ``jam(DS)``       — unroll-and-jam: the jammed program's inner loop is
   re-analyzed, so operators (and memory traffic) scale with DS.
 
-Every schedule is validated by cycle-level replay
-(:mod:`repro.hw.simulate`) before being reported.
+All variants flow through the staged
+:class:`repro.pipeline.CompilationPipeline` — the ``compile_*``
+functions kept here are thin per-variant wrappers over it, preserved as
+the driver's public API.  Every schedule is validated by cycle-level
+replay (:mod:`repro.hw.simulate`) before being reported, and the base
+analysis of a kernel nest is shared across all its variants via the
+process-local :class:`repro.pipeline.AnalysisCache`.
 """
 
 from __future__ import annotations
@@ -22,26 +27,17 @@ from typing import TYPE_CHECKING, Optional, Sequence
 if TYPE_CHECKING:  # avoid the explore <-> nimble import cycle at runtime
     from repro.explore.space import DesignQuery, SkipRecord
 
-from repro.analysis.loops import (
-    LoopNest, find_kernel_nests, find_loop_nests, trip_count,
-)
-from repro.core.squash import analyze_nest, unroll_and_squash
-from repro.core.stages import register_chains
+from repro.analysis.loops import LoopNest, find_kernel_nests, find_loop_nests
+from repro.caches import register_cache
 from repro.errors import LegalityError, ScheduleError
-from repro.hw.area import operator_rows, registers_original, registers_pipelined
-from repro.hw.listsched import list_schedule
-from repro.hw.mii import squash_distances
-from repro.hw.modulo import modulo_schedule
 from repro.hw.report import DesignPoint
-from repro.hw.simulate import simulate_modulo, simulate_sequential
 from repro.ir.nodes import Program
 from repro.nimble.target import ACEV, Target
+from repro.pipeline import CompilationPipeline
 
 __all__ = ["VariantSet", "compile_query", "compile_variants",
            "compile_original", "compile_pipelined", "compile_squash",
-           "compile_jam"]
-
-_VALIDATE_ITERS = 6
+           "compile_jam", "compile_jam_squash"]
 
 
 @dataclass
@@ -62,135 +58,49 @@ class VariantSet:
         return pts
 
 
-def _base_analysis(program: Program, nest: LoopNest, target: Target):
-    """DFG + liveness of the untransformed inner loop (quick synthesis)."""
-    work, w_nest, ssa, dfg, sa, check = analyze_nest(
-        program, nest, 1, delay_fn=target.library.delay)
-    return work, w_nest, ssa, dfg, check
-
-
 def compile_original(program: Program, nest: LoopNest,
                      target: Target = ACEV) -> DesignPoint:
     """The non-pipelined baseline design."""
-    _, w_nest, ssa, dfg, check = _base_analysis(program, nest, target)
-    sched = list_schedule(dfg, target.library)
-    sim = simulate_sequential(dfg, target.library, sched, _VALIDATE_ITERS)
-    if not sim.ok:  # pragma: no cover - defensive
-        raise ScheduleError(f"original schedule invalid: {sim.violations[:2]}")
-    return DesignPoint(
-        kernel=program.name, variant="original", factor=1, ii=sched.length,
-        op_rows=operator_rows(dfg, target.library),
-        registers=registers_original(dfg), reg_rows=target.library.reg_rows,
-        rec_mii=0, res_mii=0,
-        outer_trip=check.outer_trip or 0, inner_trip=check.inner_trip or 0,
-        schedule_length=sched.length)
+    return CompilationPipeline(target).compile(program, nest, "original")
 
 
 def compile_pipelined(program: Program, nest: LoopNest,
-                      target: Target = ACEV) -> DesignPoint:
+                      target: Target = ACEV,
+                      scheduler: Optional[str] = None) -> DesignPoint:
     """Classic modulo-scheduled pipelining of the unmodified loop."""
-    _, w_nest, ssa, dfg, check = _base_analysis(program, nest, target)
-    sched = modulo_schedule(dfg, target.library)
-    sim = simulate_modulo(dfg, target.library, sched, _VALIDATE_ITERS)
-    if not sim.ok:  # pragma: no cover - defensive
-        raise ScheduleError(f"pipelined schedule invalid: {sim.violations[:2]}")
-    return DesignPoint(
-        kernel=program.name, variant="pipelined", factor=1, ii=sched.ii,
-        op_rows=operator_rows(dfg, target.library),
-        registers=registers_pipelined(dfg, target.library, sched),
-        reg_rows=target.library.reg_rows,
-        rec_mii=sched.rec_mii, res_mii=sched.res_mii,
-        outer_trip=check.outer_trip or 0, inner_trip=check.inner_trip or 0,
-        schedule_length=sched.length)
+    return CompilationPipeline(target, scheduler=scheduler).compile(
+        program, nest, "pipelined")
 
 
 def compile_squash(program: Program, nest: LoopNest, ds: int,
                    target: Target = ACEV,
-                   base_ii: Optional[int] = None) -> DesignPoint:
+                   base_ii: Optional[int] = None,
+                   scheduler: Optional[str] = None) -> DesignPoint:
     """Unroll-and-squash by DS: shared operators, relaxed recurrences."""
-    res = unroll_and_squash(program, nest, ds,
-                            delay_fn=target.library.delay, emit=False)
-    edges = squash_distances(res.dfg, res.stages)
-    sched = modulo_schedule(res.dfg, target.library, edges=edges)
-    sim = simulate_modulo(res.dfg, target.library, sched, _VALIDATE_ITERS,
-                          edges=edges)
-    if not sim.ok:  # pragma: no cover - defensive
-        raise ScheduleError(f"squash schedule invalid: {sim.violations[:2]}")
-    return DesignPoint(
-        kernel=program.name, variant="squash", factor=ds, ii=sched.ii,
-        op_rows=operator_rows(res.dfg, target.library),
-        registers=max(res.chains.total_registers,
-                      registers_original(res.dfg)),
-        reg_rows=target.library.reg_rows,
-        rec_mii=sched.rec_mii, res_mii=sched.res_mii,
-        outer_trip=res.check.outer_trip or 0,
-        inner_trip=res.check.inner_trip or 0,
-        base_ii=base_ii, schedule_length=sched.length)
+    return CompilationPipeline(target, scheduler=scheduler).compile(
+        program, nest, "squash", ds=ds, base_ii=base_ii)
 
 
 def compile_jam(program: Program, nest: LoopNest, ds: int,
                 target: Target = ACEV,
-                base_ii: Optional[int] = None) -> DesignPoint:
+                base_ii: Optional[int] = None,
+                scheduler: Optional[str] = None) -> DesignPoint:
     """Unroll-and-jam by DS, then pipeline the fused inner loop."""
-    from repro.transforms.unroll_and_jam import unroll_and_jam
-
-    outer_trip = trip_count(nest.outer) or 0
-    inner_trip = trip_count(nest.inner) or 0
-    jammed = unroll_and_jam(program, nest, ds)
-    target_nest = None
-    for n in find_loop_nests(jammed):
-        if (n.outer.var == nest.outer.var
-                and n.outer.step == nest.outer.step * min(ds, outer_trip or ds)):
-            target_nest = n
-            break
-    if target_nest is None:
-        raise LegalityError("jammed nest not found")
-    _, w_nest, ssa, dfg, check = _base_analysis(jammed, target_nest, target)
-    sched = modulo_schedule(dfg, target.library)
-    sim = simulate_modulo(dfg, target.library, sched, _VALIDATE_ITERS)
-    if not sim.ok:  # pragma: no cover - defensive
-        raise ScheduleError(f"jam schedule invalid: {sim.violations[:2]}")
-    return DesignPoint(
-        kernel=program.name, variant="jam", factor=ds, ii=sched.ii,
-        op_rows=operator_rows(dfg, target.library),
-        registers=registers_pipelined(dfg, target.library, sched),
-        reg_rows=target.library.reg_rows,
-        rec_mii=sched.rec_mii, res_mii=sched.res_mii,
-        outer_trip=outer_trip, inner_trip=inner_trip,
-        base_ii=base_ii, schedule_length=sched.length)
+    return CompilationPipeline(target, scheduler=scheduler).compile(
+        program, nest, "jam", ds=ds, base_ii=base_ii)
 
 
 def compile_jam_squash(program: Program, nest: LoopNest, jam: int, ds: int,
                        target: Target = ACEV,
-                       base_ii: Optional[int] = None) -> DesignPoint:
+                       base_ii: Optional[int] = None,
+                       scheduler: Optional[str] = None) -> DesignPoint:
     """The combined Ch. 2 transformation: jam by ``jam``, squash by ``ds``.
 
     Operator count scales with ``jam``; the recurrence is then relaxed by
     ``ds`` over the duplicated operators.
     """
-    from repro.core.squash import jam_then_squash
-
-    outer_trip = trip_count(nest.outer) or 0
-    inner_trip = trip_count(nest.inner) or 0
-    res = jam_then_squash(program, nest, jam, ds,
-                          delay_fn=target.library.delay)
-    edges = squash_distances(res.dfg, res.stages)
-    sched = modulo_schedule(res.dfg, target.library, edges=edges)
-    sim = simulate_modulo(res.dfg, target.library, sched, _VALIDATE_ITERS,
-                          edges=edges)
-    if not sim.ok:  # pragma: no cover - defensive
-        raise ScheduleError(
-            f"jam+squash schedule invalid: {sim.violations[:2]}")
-    return DesignPoint(
-        kernel=program.name, variant="jam+squash", factor=jam * ds,
-        ii=sched.ii,
-        op_rows=operator_rows(res.dfg, target.library),
-        registers=max(res.chains.total_registers,
-                      registers_original(res.dfg)),
-        reg_rows=target.library.reg_rows,
-        rec_mii=sched.rec_mii, res_mii=sched.res_mii,
-        outer_trip=outer_trip, inner_trip=inner_trip,
-        base_ii=base_ii, schedule_length=sched.length, squash_ds=ds)
+    return CompilationPipeline(target, scheduler=scheduler).compile(
+        program, nest, "jam+squash", ds=ds, jam=jam, base_ii=base_ii)
 
 
 @lru_cache(maxsize=32)
@@ -208,17 +118,21 @@ def _kernel_program(kernel: str):
     return prog, (nests[0] if nests else None)
 
 
+register_cache(_kernel_program.cache_clear)
+
+
 def compile_query(query: "DesignQuery") -> "DesignPoint | SkipRecord":
     """Compile one :class:`repro.explore.space.DesignQuery` — the pure,
     picklable worker the exploration engine dispatches.
 
     Builds the named benchmark at evaluation scale, selects its kernel
-    nest, decodes the target spec, and compiles the requested variant.
-    Designs the compiler rejects come back as structured
-    :class:`SkipRecord` entries (``phase`` = ``"legality"`` or
-    ``"schedule"``); any other exception propagates.  The result is a
-    function of the query alone — no ambient state — so it is safe to
-    evaluate in any process, in any order, and to cache by query hash.
+    nest, decodes the target spec, resolves the scheduling strategy, and
+    drives the requested variant through the pipeline.  Designs the
+    compiler rejects come back as structured :class:`SkipRecord` entries
+    (``phase`` = ``"legality"`` or ``"schedule"``); any other exception
+    propagates.  The result is a function of the query alone — no
+    ambient state — so it is safe to evaluate in any process, in any
+    order, and to cache by query hash.
     """
     from repro.explore.space import SkipRecord
     from repro.nimble.target import decode_target
@@ -229,18 +143,10 @@ def compile_query(query: "DesignQuery") -> "DesignPoint | SkipRecord":
             return SkipRecord(query, "legality",
                               f"no loop nest in {query.kernel!r}")
         target = decode_target(query.target_spec)
-        if query.variant == "original":
-            return compile_original(prog, nest, target)
-        if query.variant == "pipelined":
-            return compile_pipelined(prog, nest, target)
-        if query.variant == "squash":
-            return compile_squash(prog, nest, query.ds, target)
-        if query.variant == "jam":
-            return compile_jam(prog, nest, query.ds, target)
-        if query.variant == "jam+squash":
-            return compile_jam_squash(prog, nest, query.jam, query.ds,
-                                      target)
-        raise ValueError(f"unknown variant {query.variant!r}")
+        pipe = CompilationPipeline(target,
+                                   scheduler=query.scheduler or None)
+        return pipe.compile(prog, nest, query.variant,
+                            ds=query.ds, jam=query.jam)
     except LegalityError as exc:
         return SkipRecord(query, "legality", str(exc))
     except ScheduleError as exc:
@@ -249,18 +155,20 @@ def compile_query(query: "DesignQuery") -> "DesignPoint | SkipRecord":
 
 def compile_variants(program: Program, nest: Optional[LoopNest] = None,
                      factors: Sequence[int] = (2, 4, 8, 16),
-                     target: Target = ACEV) -> VariantSet:
+                     target: Target = ACEV,
+                     scheduler: Optional[str] = None) -> VariantSet:
     """Produce the full Table 6.2 row group for one kernel."""
     if nest is None:
         from repro.nimble.kernel import select_kernel
         nest = select_kernel(program, ds_hint=min(factors)).nest
-    original = compile_original(program, nest, target)
-    pipelined = compile_pipelined(program, nest, target)
+    pipe = CompilationPipeline(target, scheduler=scheduler)
+    original = pipe.compile(program, nest, "original")
+    pipelined = pipe.compile(program, nest, "pipelined")
     vs = VariantSet(kernel=program.name, target=target,
                     original=original, pipelined=pipelined)
     for ds in factors:
-        vs.squash[ds] = compile_squash(program, nest, ds, target,
-                                       base_ii=original.ii)
-        vs.jam[ds] = compile_jam(program, nest, ds, target,
-                                 base_ii=original.ii)
+        vs.squash[ds] = pipe.compile(program, nest, "squash", ds=ds,
+                                     base_ii=original.ii)
+        vs.jam[ds] = pipe.compile(program, nest, "jam", ds=ds,
+                                  base_ii=original.ii)
     return vs

@@ -24,6 +24,9 @@ class Target:
     library: OperatorLibrary
     clock_mhz: float = 40.0
     description: str = ""
+    #: default scheduling strategy for pipelined variants ("" = the
+    #: registry default, :data:`repro.hw.schedulers.DEFAULT_SCHEDULER`)
+    scheduler: str = ""
 
     @property
     def mem_ports(self) -> int:
@@ -31,21 +34,27 @@ class Target:
 
     def with_mem_ports(self, ports: int) -> "Target":
         return Target(f"{self.name}-p{ports}", self.library.with_ports(ports),
-                      self.clock_mhz, self.description)
+                      self.clock_mhz, self.description, self.scheduler)
 
     def with_packed_registers(self, rows_per_register: float) -> "Target":
         return Target(f"{self.name}-packed",
                       self.library.with_packed_registers(rows_per_register),
-                      self.clock_mhz, self.description)
+                      self.clock_mhz, self.description, self.scheduler)
 
     def with_clock(self, clock_mhz: float) -> "Target":
         return Target(f"{self.name}-c{clock_mhz:g}", self.library,
-                      clock_mhz, self.description)
+                      clock_mhz, self.description, self.scheduler)
 
     def with_op_delay(self, op: str, delay: int) -> "Target":
         return Target(f"{self.name}-{op}{delay}",
                       self.library.with_op_delay(op, delay),
-                      self.clock_mhz, self.description)
+                      self.clock_mhz, self.description, self.scheduler)
+
+    def with_scheduler(self, scheduler: str) -> "Target":
+        from repro.hw.schedulers import scheduler_by_name
+        scheduler_by_name(scheduler)  # fail fast on unknown strategies
+        return Target(self.name, self.library, self.clock_mhz,
+                      self.description, scheduler)
 
 
 ACEV = Target(
@@ -78,10 +87,13 @@ def decode_target(spec: str) -> Target:
         acev::ports=1
         acev::reg_rows=0.25,clock=66
         garp::delay.mul=4,ports=2
+        acev::scheduler=backtrack
 
     Modifiers: ``ports`` (memory references/cycle), ``reg_rows`` (rows
-    per register, the packing ablation), ``clock`` (MHz), and
-    ``delay.<op>`` (operator latency override in cycles).
+    per register, the packing ablation), ``clock`` (MHz),
+    ``delay.<op>`` (operator latency override in cycles), and
+    ``scheduler`` (default strategy for pipelined variants; see
+    :func:`repro.hw.schedulers.available_schedulers`).
     """
     name, _, mods = spec.partition("::")
     target = target_by_name(name)
@@ -93,6 +105,8 @@ def decode_target(spec: str) -> Target:
             target = target.with_packed_registers(float(val))
         elif key == "clock":
             target = target.with_clock(float(val))
+        elif key == "scheduler":
+            target = target.with_scheduler(val)
         elif key.startswith("delay."):
             target = target.with_op_delay(key[len("delay."):], int(val))
         else:

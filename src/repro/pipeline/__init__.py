@@ -1,0 +1,22 @@
+"""Staged variant compilation: typed artifacts, declarative plans, shared
+analysis.
+
+The extension surface of the compiler: every design variant flows
+``build -> transform -> analyze -> schedule -> validate -> report``
+through :class:`CompilationPipeline`, with scheduling strategies resolved
+by name from :mod:`repro.hw.schedulers` and the DS-independent front-end
+analysis shared across variants via :class:`AnalysisCache`.
+"""
+
+from repro.pipeline.artifacts import (  # noqa: F401
+    AnalyzedDFG, BuiltKernel, ScheduledDesign, TransformedNest,
+    ValidatedDesign,
+)
+from repro.pipeline.analysis import (  # noqa: F401
+    AnalysisCache, BaseAnalysis, analysis_cache, base_analyzed_dfg,
+    squash_analyzed_dfg,
+)
+from repro.pipeline.pipeline import (  # noqa: F401
+    VARIANT_PLANS, CompilationPipeline, PipelineRun, VariantPlan,
+    variant_label,
+)

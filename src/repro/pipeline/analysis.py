@@ -1,0 +1,173 @@
+"""Shared per-kernel base analysis with a process-local cache.
+
+The expensive front half of :func:`repro.core.squash.analyze_nest` —
+legality liveness, program clone, three-address lowering, SSA renaming,
+and DFG construction — does not depend on the squash factor DS, the
+operator library, or the scheduler.  Yet the pre-pipeline compiler
+re-ran it for every variant of a sweep: once for ``original``, once for
+``pipelined``, and once per squash factor.  This module computes it once
+per (program, nest) and shares the result across all variants; only the
+genuinely per-variant steps (the DS legality check, stage assignment,
+register chains, the relaxed edge view) are recomputed.
+
+The cache is keyed by object identity and holds strong references to its
+(program, nest) keys, so an ``id`` can never be recycled by a different
+live program; a bounded LRU keeps memory flat.  Set
+``REPRO_ANALYSIS_CACHE=0`` to bypass sharing (the benchmark baseline),
+and :func:`repro.clear_caches` drops the cache between runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.analysis.loops import LoopNest
+from repro.analysis.ssa import SSABlock
+from repro.caches import PinningLRU, register_cache
+from repro.core.dfg import DFG
+from repro.core.legality import SquashCheck, check_squash
+from repro.core.stages import assign_stages, default_delay, register_chains
+from repro.core.squash import analyze_front, analyze_nest
+from repro.hw.mii import squash_distances
+from repro.ir.nodes import Program
+from repro.pipeline.artifacts import AnalyzedDFG
+
+__all__ = ["AnalysisCache", "BaseAnalysis", "analysis_cache",
+           "base_analyzed_dfg", "squash_analyzed_dfg"]
+
+_ENV_TOGGLE = "REPRO_ANALYSIS_CACHE"
+
+
+@dataclass
+class BaseAnalysis:
+    """The DS-independent analysis product of one kernel nest.
+
+    When the ds=1 legality check fails the artifacts are ``None`` and
+    only ``check1`` is populated (the failure is cached too, so repeated
+    variants of an illegal nest fail fast).
+    """
+
+    check1: SquashCheck
+    work: Optional[Program] = None
+    w_nest: Optional[LoopNest] = None
+    ssa: Optional[SSABlock] = None
+    dfg: Optional[DFG] = None
+    carried: Optional[set[str]] = None
+    invariant: Optional[set[str]] = None
+
+
+def _build_base(program: Program, nest: LoopNest) -> BaseAnalysis:
+    """analyze_nest's front half, without raising on legality failure."""
+    check = check_squash(program, nest, 1)
+    if not check.ok:
+        return BaseAnalysis(check1=check)
+    live = check.liveness
+    assert live is not None
+    work, w_nest, ssa, dfg, carried, invariant = \
+        analyze_front(program, nest, live)
+    return BaseAnalysis(check1=check, work=work, w_nest=w_nest, ssa=ssa,
+                        dfg=dfg, carried=carried, invariant=invariant)
+
+
+class AnalysisCache:
+    """Bounded LRU of :class:`BaseAnalysis`, keyed by object identity.
+
+    A thin wrapper over :class:`repro.caches.PinningLRU`: entries pin
+    their (program, nest) keys alive, making the ``id``-based key
+    collision-free for the entry's lifetime.
+    """
+
+    def __init__(self, maxsize: int = 64):
+        self._lru = PinningLRU(maxsize)
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    @property
+    def hits(self) -> int:
+        return self._lru.hits
+
+    @property
+    def misses(self) -> int:
+        return self._lru.misses
+
+    def get_or_build(self, program: Program, nest: LoopNest) -> BaseAnalysis:
+        key = (id(program), id(nest.outer), id(nest.inner))
+        base = self._lru.get(key)
+        if base is None:
+            base = self._lru.put(key, (program, nest),
+                                 _build_base(program, nest))
+        return base
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+
+#: The process-wide instance every CompilationPipeline shares by default.
+_CACHE = AnalysisCache()
+register_cache(_CACHE.clear)
+
+
+def analysis_cache() -> AnalysisCache:
+    return _CACHE
+
+
+def _sharing_enabled() -> bool:
+    return os.environ.get(_ENV_TOGGLE, "1") != "0"
+
+
+def _base(program: Program, nest: LoopNest,
+          cache: Optional[AnalysisCache]) -> BaseAnalysis:
+    if cache is not None and _sharing_enabled():
+        return cache.get_or_build(program, nest)
+    return _build_base(program, nest)
+
+
+def base_analyzed_dfg(program: Program, nest: LoopNest,
+                      cache: Optional[AnalysisCache] = None) -> AnalyzedDFG:
+    """The untransformed inner loop's DFG (original/pipelined/jam).
+
+    Raises :class:`~repro.errors.LegalityError` exactly where the old
+    per-variant ``analyze_nest(..., ds=1)`` did.
+    """
+    base = _base(program, nest, cache)
+    base.check1.raise_if_failed()
+    assert base.dfg is not None and base.ssa is not None
+    return AnalyzedDFG(dfg=base.dfg, ssa=base.ssa, check=base.check1)
+
+
+def squash_analyzed_dfg(program: Program, nest: LoopNest, ds: int,
+                        delay_fn: Optional[Callable] = None,
+                        cache: Optional[AnalysisCache] = None) -> AnalyzedDFG:
+    """The DS-staged DFG of a squash design: shared graph + per-DS cut.
+
+    Runs the per-DS legality check first (so DS-specific rejections
+    surface exactly as before), then layers stage assignment, register
+    chains, and the stage-relaxed edge view over the shared base graph.
+    """
+    check = check_squash(program, nest, ds)
+    check.raise_if_failed()
+    base = _base(program, nest, cache)
+    if base.dfg is None:
+        # ds=1 legality failed but ds-specific legality passed: fall back
+        # to the uncached full analysis, exactly as the old path behaved.
+        _, w_nest, ssa, dfg, sa, check = analyze_nest(program, nest, ds,
+                                                      delay_fn=delay_fn)
+        live = check.liveness
+        assert live is not None
+        carried = {x for x in live.carried if x in ssa.entry}
+        invariant = {x for x in ssa.entry
+                     if x not in carried and x != w_nest.inner.var}
+    else:
+        ssa, dfg = base.ssa, base.dfg
+        carried, invariant = base.carried, base.invariant
+        sa = assign_stages(dfg, ds, delay_fn or default_delay)
+    live = check.liveness
+    assert live is not None
+    chains = register_chains(dfg, sa, carried, invariant,
+                             live.live_out, ssa.exit)
+    edges = squash_distances(dfg, sa)
+    return AnalyzedDFG(dfg=dfg, ssa=ssa, check=check, stages=sa,
+                       chains=chains, edges=edges)

@@ -1,0 +1,337 @@
+"""The staged compilation pipeline driving every Table 6.2 design point.
+
+One declarative :class:`VariantPlan` per design variant replaces the
+five hand-rolled ``compile_*`` bodies the Nimble driver used to carry.
+Every variant flows through the same six stages::
+
+    build -> transform -> analyze -> schedule -> validate -> report
+
+with the plan choosing only the genuinely variant-specific pieces: how
+the nest is transformed, which analysis view applies (shared base DFG vs
+DS-staged DFG), whether the scheduler is pinned (``original`` is always
+list-scheduled), and which register model prices the result.  The
+scheduler for pipelined variants is resolved by name from
+:mod:`repro.hw.schedulers`, so new strategies plug in without touching
+this module.
+
+Errors raised mid-pipeline (:class:`~repro.errors.LegalityError`,
+:class:`~repro.errors.ScheduleError`) are re-raised with full
+provenance — kernel, variant label, target, scheduler — so a failed
+design in a thousand-point sweep names itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.analysis.loops import LoopNest, find_loop_nests, trip_count
+from repro.caches import PinningLRU, register_cache
+from repro.core.squash import locate_jammed_nest
+from repro.errors import LegalityError, ScheduleError
+from repro.hw.area import operator_rows, registers_original, \
+    registers_pipelined
+from repro.hw.modulo import ModuloSchedule
+from repro.hw.report import DesignPoint, variant_label
+from repro.hw.schedulers import DEFAULT_SCHEDULER, Scheduler, \
+    scheduler_by_name
+from repro.hw.simulate import simulate_modulo, simulate_sequential
+from repro.ir.nodes import Program
+from repro.pipeline.analysis import AnalysisCache, _sharing_enabled, \
+    analysis_cache, base_analyzed_dfg, squash_analyzed_dfg
+from repro.pipeline.artifacts import (
+    AnalyzedDFG, BuiltKernel, ScheduledDesign, TransformedNest,
+    ValidatedDesign,
+)
+
+if TYPE_CHECKING:  # pipeline <-> nimble import cycle: Target only for types
+    from repro.nimble.target import Target
+
+__all__ = ["CompilationPipeline", "PipelineRun", "VARIANT_PLANS",
+           "VariantPlan", "variant_label"]
+
+#: Iterations replayed by the validation stage.
+VALIDATE_ITERS = 6
+
+
+# ---------------------------------------------------------------------------
+# Stage implementations
+# ---------------------------------------------------------------------------
+
+def _trips(nest: LoopNest) -> tuple[int, int]:
+    return trip_count(nest.outer) or 0, trip_count(nest.inner) or 0
+
+
+#: unroll_and_jam is pure in (program, nest, factor) and independent of
+#: variant, target, and scheduler, so the ``jam`` and ``jam+squash``
+#: variants of a sweep — and every scheduler/target axis crossing them —
+#: reuse one jammed program.  Stable object identity in turn lets the
+#: shared analysis cache hit for the jammed nest's base analysis too.
+_JAM_MEMO = PinningLRU(maxsize=128)
+register_cache(_JAM_MEMO.clear)
+
+
+def _memoized_jam(program: Program, nest: LoopNest, factor: int) -> Program:
+    from repro.transforms.unroll_and_jam import unroll_and_jam
+
+    if not _sharing_enabled():
+        return unroll_and_jam(program, nest, factor)
+    key = (id(program), id(nest.outer), id(nest.inner), factor)
+    jammed = _JAM_MEMO.get(key)
+    if jammed is None:
+        jammed = _JAM_MEMO.put(key, (program, nest),
+                               unroll_and_jam(program, nest, factor))
+    return jammed
+
+
+def _identity_transform(built: BuiltKernel, ds: int, jam: int,
+                        variant: str) -> TransformedNest:
+    """original / pipelined / squash: the built nest is analyzed as-is
+    (squash restructures during analysis, not here)."""
+    outer, inner = _trips(built.nest)
+    return TransformedNest(variant=variant, program=built.program,
+                           nest=built.nest, ds=ds, jam=jam,
+                           outer_trip=outer, inner_trip=inner)
+
+
+def _find_jammed_nest(jammed: Program, nest: LoopNest, factor: int,
+                      outer_trip: int) -> Optional[LoopNest]:
+    for n in find_loop_nests(jammed):
+        if (n.outer.var == nest.outer.var
+                and n.outer.step == nest.outer.step
+                * min(factor, outer_trip or factor)):
+            return n
+    return None
+
+
+def _jam_transform(built: BuiltKernel, ds: int, jam: int,
+                   variant: str) -> TransformedNest:
+    """Unroll-and-jam by DS; re-locate the fused inner loop."""
+    outer_trip, inner_trip = _trips(built.nest)
+    jammed = _memoized_jam(built.program, built.nest, ds)
+    target_nest = _find_jammed_nest(jammed, built.nest, ds, outer_trip)
+    if target_nest is None:
+        raise LegalityError("jammed nest not found")
+    return TransformedNest(variant=variant, program=jammed,
+                           nest=target_nest, ds=ds, jam=jam,
+                           outer_trip=outer_trip, inner_trip=inner_trip)
+
+
+def _jam_squash_transform(built: BuiltKernel, ds: int, jam: int,
+                          variant: str) -> TransformedNest:
+    """Jam by J (duplicating operators); squash by DS happens in analysis.
+
+    Nest relocation is :func:`repro.core.squash.locate_jammed_nest` —
+    the same rule :func:`repro.core.squash.jam_then_squash` applies, so
+    the software emitter and the hardware path pick the same nest.
+    """
+    outer_trip, inner_trip = _trips(built.nest)
+    jammed = _memoized_jam(built.program, built.nest, jam)
+    target_nest = locate_jammed_nest(jammed, built.nest, jam)
+    return TransformedNest(variant=variant, program=jammed,
+                           nest=target_nest, ds=ds, jam=jam,
+                           outer_trip=outer_trip, inner_trip=inner_trip)
+
+
+def _base_analyze(t: TransformedNest, target: Target,
+                  cache: Optional[AnalysisCache]) -> AnalyzedDFG:
+    return base_analyzed_dfg(t.program, t.nest, cache=cache)
+
+
+def _squash_analyze(t: TransformedNest, target: Target,
+                    cache: Optional[AnalysisCache]) -> AnalyzedDFG:
+    return squash_analyzed_dfg(t.program, t.nest, t.ds,
+                               delay_fn=target.library.delay, cache=cache)
+
+
+def _registers_base(a: AnalyzedDFG, target: Target,
+                    s: ScheduledDesign) -> int:
+    return registers_original(a.dfg)
+
+
+def _registers_modulo(a: AnalyzedDFG, target: Target,
+                      s: ScheduledDesign) -> int:
+    assert isinstance(s.schedule, ModuloSchedule)
+    return registers_pipelined(a.dfg, target.library, s.schedule)
+
+
+def _registers_chains(a: AnalyzedDFG, target: Target,
+                      s: ScheduledDesign) -> int:
+    assert a.chains is not None
+    return max(a.chains.total_registers, registers_original(a.dfg))
+
+
+# ---------------------------------------------------------------------------
+# Declarative per-variant plans
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class VariantPlan:
+    """What is variant-specific about one flow through the pipeline."""
+
+    variant: str
+    transform: Callable[[BuiltKernel, int, int, str], TransformedNest]
+    analyze: Callable[[TransformedNest, Target, Optional[AnalysisCache]],
+                      AnalyzedDFG]
+    registers: Callable[[AnalyzedDFG, Target, ScheduledDesign], int]
+    #: pinned scheduler name, or None to use the pipeline's strategy
+    scheduler: Optional[str] = None
+
+
+VARIANT_PLANS: dict[str, VariantPlan] = {
+    "original": VariantPlan("original", _identity_transform, _base_analyze,
+                            _registers_base, scheduler="list"),
+    "pipelined": VariantPlan("pipelined", _identity_transform, _base_analyze,
+                             _registers_modulo),
+    "squash": VariantPlan("squash", _identity_transform, _squash_analyze,
+                          _registers_chains),
+    "jam": VariantPlan("jam", _jam_transform, _base_analyze,
+                       _registers_modulo),
+    "jam+squash": VariantPlan("jam+squash", _jam_squash_transform,
+                              _squash_analyze, _registers_chains),
+}
+
+
+@dataclass
+class PipelineRun:
+    """Every artifact of one flow, for introspection and tests."""
+
+    built: BuiltKernel
+    transformed: TransformedNest
+    analyzed: AnalyzedDFG
+    scheduled: ScheduledDesign
+    validated: ValidatedDesign
+    point: DesignPoint
+
+
+class CompilationPipeline:
+    """Drives a program + nest through the staged flow for any variant.
+
+    ``scheduler`` names the strategy used for pipelined variants (the
+    ``original`` plan pins the list scheduler); ``None`` defers to the
+    target's choice, which itself defaults to the iterative modulo
+    scheduler.  ``cache`` is the shared base-analysis cache — by default
+    the process-wide instance, so all variants of one kernel share one
+    front-end analysis.
+    """
+
+    def __init__(self, target: "Optional[Target]" = None,
+                 scheduler: Optional[str] = None,
+                 cache: Optional[AnalysisCache] = None,
+                 validate_iters: int = VALIDATE_ITERS):
+        if target is None:
+            from repro.nimble.target import ACEV
+            target = ACEV
+        self.target = target
+        self.scheduler = scheduler if scheduler is not None \
+            else getattr(target, "scheduler", "")
+        self.cache = cache if cache is not None else analysis_cache()
+        self.validate_iters = validate_iters
+
+    # -- stages -----------------------------------------------------------
+
+    def _resolve_scheduler(self, plan: VariantPlan) -> Scheduler:
+        try:
+            strategy = scheduler_by_name(plan.scheduler or self.scheduler)
+        except KeyError as exc:
+            # e.g. a custom strategy registered in the parent process but
+            # absent from a spawn-started worker: report as a structured
+            # schedule failure (SkipRecord) instead of crashing the sweep
+            raise ScheduleError(exc.args[0]) from exc
+        if plan.scheduler is None and not strategy.pipelined:
+            raise ScheduleError(
+                f"scheduler {strategy.name!r} is not a pipelined strategy "
+                f"and cannot schedule the {plan.variant!r} variant")
+        return strategy
+
+    def _schedule(self, plan: VariantPlan,
+                  analyzed: AnalyzedDFG) -> ScheduledDesign:
+        strategy = self._resolve_scheduler(plan)
+        schedule = strategy.schedule(analyzed.dfg, self.target.library,
+                                     edges=analyzed.edges)
+        return ScheduledDesign(analyzed=analyzed, scheduler=strategy.name,
+                               schedule=schedule)
+
+    def _validate(self, plan: VariantPlan,
+                  scheduled: ScheduledDesign) -> ValidatedDesign:
+        lib = self.target.library
+        a = scheduled.analyzed
+        if scheduled.pipelined:
+            sim = simulate_modulo(a.dfg, lib, scheduled.schedule,
+                                  self.validate_iters, edges=a.edges)
+        else:
+            sim = simulate_sequential(a.dfg, lib, scheduled.schedule,
+                                      self.validate_iters)
+        if not sim.ok:  # pragma: no cover - defensive
+            raise ScheduleError(
+                f"schedule invalid: {sim.violations[:2]}")
+        return ValidatedDesign(scheduled=scheduled, sim=sim)
+
+    def _report(self, built: BuiltKernel, t: TransformedNest,
+                scheduled: ScheduledDesign,
+                base_ii: Optional[int]) -> DesignPoint:
+        a = scheduled.analyzed
+        sched = scheduled.schedule
+        if scheduled.pipelined:
+            ii, rec, res = sched.ii, sched.rec_mii, sched.res_mii
+        else:
+            ii, rec, res = sched.length, 0, 0
+        plan = VARIANT_PLANS[t.variant]
+        return DesignPoint(
+            kernel=built.kernel,
+            variant=t.variant, factor=t.factor, ii=ii,
+            op_rows=operator_rows(a.dfg, self.target.library),
+            registers=plan.registers(a, self.target, scheduled),
+            reg_rows=self.target.library.reg_rows,
+            rec_mii=rec, res_mii=res,
+            outer_trip=t.outer_trip, inner_trip=t.inner_trip,
+            base_ii=base_ii, schedule_length=sched.length,
+            squash_ds=t.ds if t.variant == "jam+squash" else None)
+
+    # -- driver -----------------------------------------------------------
+
+    def run(self, program: Program, nest: LoopNest, variant: str,
+            ds: int = 1, jam: int = 1,
+            base_ii: Optional[int] = None) -> PipelineRun:
+        """Flow one design through every stage; returns all artifacts."""
+        try:
+            plan = VARIANT_PLANS[variant]
+        except KeyError:
+            raise ValueError(f"unknown variant {variant!r}; "
+                             f"have {tuple(VARIANT_PLANS)}")
+        built = BuiltKernel(program=program, nest=nest)
+        try:
+            transformed = plan.transform(built, ds, jam, variant)
+            analyzed = plan.analyze(transformed, self.target, self.cache)
+            scheduled = self._schedule(plan, analyzed)
+            validated = self._validate(plan, scheduled)
+        except (LegalityError, ScheduleError) as exc:
+            raise self._with_provenance(exc, built, variant, ds, jam) from exc
+        point = self._report(built, transformed, scheduled, base_ii)
+        return PipelineRun(built=built, transformed=transformed,
+                           analyzed=analyzed, scheduled=scheduled,
+                           validated=validated, point=point)
+
+    def compile(self, program: Program, nest: LoopNest, variant: str,
+                ds: int = 1, jam: int = 1,
+                base_ii: Optional[int] = None) -> DesignPoint:
+        """Flow one design through the pipeline; returns the DesignPoint."""
+        return self.run(program, nest, variant, ds=ds, jam=jam,
+                        base_ii=base_ii).point
+
+    def _with_provenance(self, exc: Exception, built: BuiltKernel,
+                         variant: str, ds: int, jam: int) -> Exception:
+        """Stamp kernel/variant/target/scheduler context onto an error."""
+        if getattr(exc, "provenance", None):
+            return exc
+        label = variant_label(variant, ds, jam)
+        plan = VARIANT_PLANS[variant]
+        sched = plan.scheduler or self.scheduler or DEFAULT_SCHEDULER
+        where = (f"{built.kernel}/{label} [target={self.target.name}, "
+                 f"scheduler={sched}]")
+        if isinstance(exc, LegalityError):
+            out: Exception = LegalityError(f"{where}: {exc}", exc.reasons)
+        else:
+            out = ScheduleError(f"{where}: {exc}")
+        out.provenance = where  # type: ignore[attr-defined]
+        return out

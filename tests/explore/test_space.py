@@ -43,8 +43,9 @@ class TestDesignQuery:
     def test_known_hash_value_is_stable(self):
         # Pinned: the persistent cache key must not drift across
         # releases, or every stored result silently invalidates.
+        # (Re-pinned when the query schema gained the scheduler axis.)
         assert DesignQuery("iir", "squash", ds=2).query_hash == \
-            "c9762ad4084441afd95cdfb8"
+            "aeac6b01ce0fb89f28c1912d"
 
     def test_labels(self):
         assert DesignQuery("iir", "original").label == "original"
@@ -57,6 +58,22 @@ class TestDesignQuery:
             DesignQuery("iir", "unrolled")
         with pytest.raises(ValueError):
             DesignQuery("iir", "squash", ds=0)
+
+    def test_rejects_unknown_scheduler(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            DesignQuery("iir", "squash", ds=2, scheduler="annealing")
+
+    def test_scheduler_distinguishes_hash_and_label(self):
+        a = DesignQuery("iir", "squash", ds=2)
+        b = DesignQuery("iir", "squash", ds=2, scheduler="backtrack")
+        assert a.query_hash != b.query_hash
+        assert b.label == "squash(2)@backtrack"
+
+    def test_original_normalizes_scheduler(self):
+        # The original design is list-scheduled whatever the strategy:
+        # queries must collapse to one cache entry.
+        assert DesignQuery("iir", "original", scheduler="backtrack") == \
+            DesignQuery("iir", "original")
 
 
 class TestDesignSpace:
@@ -96,6 +113,17 @@ class TestDesignSpace:
     def test_rejects_unknown_variant(self):
         with pytest.raises(ValueError):
             DesignSpace(kernels=("iir",), variants=("bogus",))
+
+    def test_scheduler_axis_dedupes_original(self):
+        space = DesignSpace(kernels=("iir",), factors=(2,),
+                            variants=("original", "pipelined", "squash"),
+                            schedulers=("modulo", "backtrack"))
+        labels = [q.label for q in space.enumerate()]
+        # original collapses across strategies; the rest split
+        assert labels.count("original") == 1
+        assert "pipelined@modulo" in labels
+        assert "squash(2)@backtrack" in labels
+        assert space.size == 1 + 2 * 2
 
     def test_table_sweep_space_matches_variant_labels(self):
         space = table_sweep_space(["iir"], factors=(2, 4, 8, 16))

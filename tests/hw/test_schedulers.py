@@ -102,6 +102,143 @@ class TestModuloScheduler:
         assert sim.ok, sim.violations[:3]
 
 
+class TestMRTRowAdvance:
+    """Regression for the MRT probe loop in ``_attempt``: a fully
+    occupied row must advance the operation to the next free row (the
+    dead duplicate re-probe after the loop was removed)."""
+
+    def _mem_heavy(self, loads: int):
+        b = ProgramBuilder("memheavy")
+        src = b.array("src", (64,), U32)
+        out = b.array("out", (64,), U32, output=True)
+        x = b.local("x", U32)
+        with b.loop("i", 0, 8) as i:
+            b.assign(x, 0)
+            with b.loop("j", 0, 4) as j:
+                for k in range(loads):
+                    b.assign(x, b.var("x") + src[(i + j + k) & 63])
+                out[(i * 4 + j) & 63] = b.var("x")
+        dfg, _ = _dfg(b.build())
+        return dfg
+
+    def test_attempt_advances_past_full_row(self):
+        from repro.hw.mii import default_edge_view
+        from repro.hw.modulo import _attempt
+
+        dfg = self._mem_heavy(4)   # 4 loads + 1 store on a 2-port bus
+        edges = default_edge_view(dfg)
+        sched = _attempt(dfg, edges, ACEV_LIBRARY, 3, {})
+        assert sched is not None
+        # every row within capacity; at least one op pushed off row 0
+        assert all(v <= ACEV_LIBRARY.mem_ports for v in sched.mrt.values())
+        assert sum(sched.mrt.values()) == 5
+        mem_rows = {sched.time[n.nid] % 3 for n in dfg.nodes
+                    if ACEV_LIBRARY.uses_mem_port(n)}
+        assert len(mem_rows) > 1
+
+    def test_attempt_gives_up_when_all_rows_full(self):
+        from repro.hw.mii import default_edge_view
+        from repro.hw.modulo import _attempt
+
+        dfg = self._mem_heavy(4)   # 5 memory refs > 2 rows * 2 ports
+        edges = default_edge_view(dfg)
+        assert _attempt(dfg, edges, ACEV_LIBRARY, 2, {}) is None
+
+    def test_full_search_lands_on_feasible_ii(self):
+        dfg = self._mem_heavy(4)
+        sched = modulo_schedule(dfg, ACEV_LIBRARY)
+        assert sched.ii >= sched.res_mii == 3
+        _assert_schedule_legal(dfg, ACEV_LIBRARY, sched)
+
+
+class TestBacktrackingScheduler:
+    def test_matches_iterative_on_thesis_figures(self):
+        from repro.hw.schedulers import backtracking_modulo_schedule
+        for builder in (build_fig21, build_fig41):
+            dfg, _ = _dfg(builder())
+            ims = modulo_schedule(dfg, ACEV_LIBRARY)
+            bt = backtracking_modulo_schedule(dfg, ACEV_LIBRARY)
+            assert bt.ii <= ims.ii
+            _assert_schedule_legal(dfg, ACEV_LIBRARY, bt)
+
+    def test_squash_edges_supported(self):
+        from repro.hw.schedulers import backtracking_modulo_schedule
+        dfg, sa = _dfg(build_fig41(), ds=4)
+        edges = squash_distances(dfg, sa)
+        bt = backtracking_modulo_schedule(dfg, ACEV_LIBRARY, edges=edges)
+        _assert_schedule_legal(dfg, ACEV_LIBRARY, bt, edges)
+
+    @given(seed=st.integers(0, 2000), ds=st.sampled_from([1, 2, 4]))
+    @settings(max_examples=25, deadline=None)
+    def test_random_nests_never_worse_than_iterative(self, seed, ds):
+        from repro.hw.schedulers import backtracking_modulo_schedule
+        prog, _ = random_squashable_nest(random.Random(seed))
+        nest = find_loop_nests(prog)[0]
+        _, _, _, dfg, sa, _ = analyze_nest(prog, nest, ds,
+                                           delay_fn=ACEV_LIBRARY.delay)
+        edges = squash_distances(dfg, sa) if ds > 1 else None
+        ims = modulo_schedule(dfg, ACEV_LIBRARY, edges=edges)
+        bt = backtracking_modulo_schedule(dfg, ACEV_LIBRARY, edges=edges)
+        assert bt.ii <= ims.ii
+        _assert_schedule_legal(dfg, ACEV_LIBRARY, bt,
+                               edges or default_edge_view(dfg))
+        sim = simulate_modulo(dfg, ACEV_LIBRARY, bt, 5, edges=edges)
+        assert sim.ok, sim.violations[:3]
+
+    def test_mii_bounds_reported(self):
+        from repro.hw.schedulers import backtracking_modulo_schedule
+        dfg, _ = _dfg(build_fig41())
+        bt = backtracking_modulo_schedule(dfg, ACEV_LIBRARY)
+        ims = modulo_schedule(dfg, ACEV_LIBRARY)
+        assert (bt.rec_mii, bt.res_mii) == (ims.rec_mii, ims.res_mii)
+
+
+class TestSchedulerRegistry:
+    def test_builtins_registered(self):
+        from repro.hw.schedulers import available_schedulers
+        names = available_schedulers()
+        assert {"list", "modulo", "backtrack"} <= set(names)
+
+    def test_empty_name_resolves_default(self):
+        from repro.hw.schedulers import scheduler_by_name
+        assert scheduler_by_name("").name == "modulo"
+        assert scheduler_by_name("modulo").pipelined
+        assert not scheduler_by_name("list").pipelined
+
+    def test_unknown_name_raises(self):
+        from repro.hw.schedulers import scheduler_by_name
+        with pytest.raises(KeyError, match="unknown scheduler"):
+            scheduler_by_name("simulated-annealing")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.hw.schedulers import (
+            IterativeModuloScheduler, register_scheduler,
+        )
+        with pytest.raises(ValueError, match="already registered"):
+            register_scheduler(IterativeModuloScheduler())
+
+    def test_custom_scheduler_pluggable(self):
+        from repro.hw.schedulers import (
+            _REGISTRY, Scheduler, register_scheduler, scheduler_by_name,
+        )
+
+        class EagerModulo:
+            name = "eager"
+            pipelined = True
+
+            def schedule(self, dfg, lib, edges=None, max_ii=None):
+                return modulo_schedule(dfg, lib, edges=edges, max_ii=max_ii)
+
+        register_scheduler(EagerModulo())
+        try:
+            strategy = scheduler_by_name("eager")
+            assert isinstance(strategy, Scheduler)
+            dfg, _ = _dfg(build_fig21())
+            assert strategy.schedule(dfg, ACEV_LIBRARY).ii == 2
+        finally:
+            _REGISTRY.pop("eager", None)
+
+
 class TestListScheduler:
     def test_length_at_least_critical_path(self):
         dfg, _ = _dfg(build_fig41())

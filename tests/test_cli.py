@@ -87,6 +87,18 @@ class TestExploreCommand:
         assert main(argv + ["--clear-cache"]) == 0
         assert "0 hits" in capsys.readouterr().out
 
+    def test_scheduler_axis(self, tmp_path, capsys):
+        assert main(["explore", "--kernel", "iir",
+                     "--variants", "original", "squash",
+                     "--factors", "2",
+                     "--scheduler", "modulo", "--scheduler", "backtrack",
+                     "--pareto",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "squash(2)@modulo" in out or "squash(2)@backtrack" in out
+        # 1 deduped original + squash under each strategy
+        assert "explored 3 designs" in out
+
     def test_combined_variant_target_spec(self, tmp_path, capsys):
         assert main(["explore", "--kernel", "iir",
                      "--variants", "original", "jam+squash",
