@@ -226,8 +226,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "acev::ports=N,reg_rows=X,clock=MHz,delay.op=N")
     e.add_argument("--scheduler", action="append", default=None,
                    help="scheduling strategy for pipelined variants "
-                        "(repeatable; e.g. modulo, backtrack; default: "
-                        "the target's)")
+                        "(repeatable; e.g. modulo, backtrack, exact; "
+                        "default: the target's)")
     e.add_argument("--jobs", type=int, default=None,
                    help="parallel workers (default: cores, capped)")
     e.add_argument("--pareto", action="store_true",

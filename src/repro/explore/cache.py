@@ -22,6 +22,7 @@ import os
 import pathlib
 from dataclasses import dataclass
 
+from repro.caches import register_cache
 from repro.explore.space import DesignQuery, SkipRecord
 from repro.hw.report import DesignPoint
 
@@ -48,6 +49,17 @@ def code_version() -> str:
             h.update(b"\0")
         _code_version = h.hexdigest()[:12]
     return _code_version
+
+
+@register_cache
+def _reset_code_version() -> None:
+    """Drop the memoized source-tree hash (``repro.clear_caches`` hook).
+
+    Long-lived processes that edit sources (tests, notebooks) must not
+    keep writing results under a stale generation key.
+    """
+    global _code_version
+    _code_version = None
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -128,11 +140,17 @@ class ResultCache:
 
     def get(self, query: DesignQuery) -> DesignPoint | SkipRecord | None:
         rec = self._load().get(query.query_hash)
-        if rec is None:
+        result = _decode_result(rec) if rec is not None else None
+        if result is None:
+            # absent — or written by a different DesignPoint/DesignQuery
+            # field set (the code-version key partitions the default
+            # directory, but a custom REPRO_CACHE_DIR or a pinned
+            # ``version=`` can serve foreign records): treat as a miss
+            # and recompute rather than crash the sweep.
             self.stats.misses += 1
             return None
         self.stats.hits += 1
-        return _decode_result(rec)
+        return result
 
     def put(self, query: DesignQuery,
             result: DesignPoint | SkipRecord) -> None:
@@ -166,8 +184,18 @@ def _encode_result(query: DesignQuery,
     return rec
 
 
-def _decode_result(rec: dict) -> DesignPoint | SkipRecord:
-    query = DesignQuery(**rec["query"])
-    if rec["kind"] == "skip":
-        return SkipRecord(query=query, **rec["data"])
-    return DesignPoint(**rec["data"])
+def _decode_result(rec: dict) -> DesignPoint | SkipRecord | None:
+    """Rebuild a stored result; ``None`` when the record does not fit.
+
+    Records written by an older or newer ``repro`` (extra, missing, or
+    invalid ``DesignPoint``/``DesignQuery`` fields, unknown schedulers,
+    malformed structure) decode to ``None`` — the caller treats that as
+    a cache miss instead of crashing the whole sweep.
+    """
+    try:
+        query = DesignQuery(**rec["query"])
+        if rec["kind"] == "skip":
+            return SkipRecord(query=query, **rec["data"])
+        return DesignPoint(**rec["data"])
+    except (KeyError, TypeError, ValueError):
+        return None

@@ -33,6 +33,19 @@ __all__ = ["ExploreResult", "default_jobs", "evaluate"]
 _MAX_DEFAULT_JOBS = 8
 
 
+def _physical_target(spec: str) -> str:
+    """A target spec with its ``scheduler=`` modifier stripped.
+
+    The scheduler changes which schedule is *found*, not which hardware
+    the design runs on, so optimality comparisons group by the physical
+    target alone.
+    """
+    name, _, mods = spec.partition("::")
+    kept = [m for m in mods.split(",")
+            if m and not m.startswith("scheduler=")]
+    return name + ("::" + ",".join(kept) if kept else "")
+
+
 def default_jobs() -> int:
     """Worker count when the caller does not choose: ``REPRO_JOBS`` or
     the machine's core count, capped at ``_MAX_DEFAULT_JOBS``."""
@@ -90,6 +103,34 @@ class ExploreResult:
                     and isinstance(r, DesignPoint)
                     and (q.kernel, q.target_spec) in base):
                 r.base_ii = base[(q.kernel, q.target_spec)]
+
+    def attach_exact_ii(self) -> None:
+        """Propagate certified-optimal IIs across the scheduler axis.
+
+        A sweep that includes the ``exact`` strategy yields points with
+        ``exact_ii`` stamped (when the search certified).  The same
+        design under a heuristic scheduler is the same (kernel, target,
+        variant, factors) group, so its optimality gap is measurable —
+        copy the certified optimum onto every group member that lacks
+        it.  The scheduler can be chosen either per query or via the
+        target-spec modifier (``acev::scheduler=exact``), so grouping
+        strips the modifier: both routes describe the same physical
+        design.  Uncertified (budget-degraded) exact points claim
+        nothing and propagate nothing.
+        """
+        def key_of(q: DesignQuery) -> tuple[str, str, str, int, int]:
+            return (q.kernel, _physical_target(q.target_spec),
+                    q.variant, q.ds, q.jam)
+
+        exact: dict[tuple[str, str, str, int, int], int] = {}
+        for q, r in self.pairs():
+            if isinstance(r, DesignPoint) and r.exact_ii is not None:
+                exact[key_of(q)] = r.exact_ii
+        for q, r in self.pairs():
+            if isinstance(r, DesignPoint) and r.exact_ii is None:
+                key = key_of(q)
+                if key in exact:
+                    r.exact_ii = exact[key]
 
 
 def evaluate(queries: "Sequence[DesignQuery] | Iterable[DesignQuery]",

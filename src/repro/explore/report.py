@@ -35,9 +35,23 @@ def format_cache_stats(result: ExploreResult) -> str:
     return f"cache: {result.cache_stats.describe()}"
 
 
+def _gap_cell(point: DesignPoint) -> str:
+    """Render the optimality gap: ``ii - exact_ii`` (0 = certified
+    optimal), or ``-`` when no exact/MII certificate covers the design."""
+    gap = point.optimality_gap
+    return "-" if gap is None else str(gap)
+
+
 def format_pareto(result: ExploreResult) -> str:
-    """Per-kernel Pareto frontier over (II, area, registers)."""
+    """Per-kernel Pareto frontier over (II, area, registers).
+
+    The ``gap`` column reports each design's optimality gap against the
+    exact scheduler's certified II (or the RecMII/ResMII bound when the
+    heuristic already meets it); ``-`` means the optimum is unknown for
+    that design — run the sweep with ``--scheduler exact`` to pin it.
+    """
     result.attach_base_ii()
+    result.attach_exact_ii()
     bases: dict[tuple[str, str], DesignPoint] = {}
     for q, r in result.pairs():
         if q.variant == "original" and isinstance(r, DesignPoint):
@@ -53,11 +67,11 @@ def format_pareto(result: ExploreResult) -> str:
                                                   qp[1].area_rows)):
             speedup = (f"{normalize(base, p).speedup:.2f}"
                        if base is not None else "-")
-            rows.append([q.label, p.ii, round(p.area_rows), p.registers,
-                         speedup])
+            rows.append([q.label, p.ii, _gap_cell(p), round(p.area_rows),
+                         p.registers, speedup])
         dominated = len(all_pts) - len(pairs)
         blocks.append(render_table(
-            ["design", "II", "area", "regs", "speedup"], rows,
+            ["design", "II", "gap", "area", "regs", "speedup"], rows,
             title=f"{_group_title(key)} — Pareto frontier "
                   f"({len(pairs)} of {len(all_pts)} designs; "
                   f"{dominated} dominated)"))

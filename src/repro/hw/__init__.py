@@ -12,10 +12,14 @@ from repro.hw.mii import (  # noqa: F401
 )
 from repro.hw.modulo import ModuloSchedule, modulo_schedule  # noqa: F401
 from repro.hw.listsched import ListSchedule, list_schedule  # noqa: F401
+from repro.hw.exact import (  # noqa: F401
+    ExactSchedule, IICertificate, exact_modulo_schedule,
+)
 from repro.hw.schedulers import (  # noqa: F401
-    DEFAULT_SCHEDULER, BacktrackingModuloScheduler, IterativeModuloScheduler,
-    ListScheduler, Scheduler, available_schedulers,
-    backtracking_modulo_schedule, register_scheduler, scheduler_by_name,
+    DEFAULT_SCHEDULER, BacktrackingModuloScheduler, ExactModuloScheduler,
+    IterativeModuloScheduler, ListScheduler, Scheduler,
+    available_schedulers, backtracking_modulo_schedule, register_scheduler,
+    scheduler_by_name,
 )
 from repro.hw.area import (  # noqa: F401
     AreaEstimate, area_estimate, operator_rows, registers_original,

@@ -114,19 +114,23 @@ def _has_cycle_exceeding(edges: EdgeView, delay: Callable[[DFGNode], int],
     """Is there a cycle with sum(delay) > lam * sum(distance)?
 
     Bellman-Ford negative-cycle detection on weights
-    ``-(delay(src) - lam*dist)``.
+    ``-(delay(src) - lam*dist)``.  Delays, lambda, and distances are all
+    integers, so relaxation compares exactly — a float epsilon here
+    could mask a genuine unit-weight cycle or, worse, let rounding turn
+    the tie case ``delay == lam * distance`` (weight exactly 0, *not* an
+    exceeding cycle) into a spurious one.
     """
     nodes: dict[int, DFGNode] = {}
     for s, d, _ in edges:
         nodes[s.nid] = s
         nodes[d.nid] = d
-    dist_map: dict[int, float] = {nid: 0.0 for nid in nodes}
+    dist_map: dict[int, int] = {nid: 0 for nid in nodes}
     n = len(nodes)
     arcs = [(s.nid, d.nid, -(delay(s) - lam * dd)) for s, d, dd in edges]
     for it in range(n):
         changed = False
         for u, v, w in arcs:
-            if dist_map[u] + w < dist_map[v] - 1e-9:
+            if dist_map[u] + w < dist_map[v]:
                 dist_map[v] = dist_map[u] + w
                 changed = True
         if not changed:

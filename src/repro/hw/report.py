@@ -56,6 +56,10 @@ class DesignPoint:
     schedule_length: int = 0
     #: for the combined jam+squash variant: the squash part of ``factor``
     squash_ds: Optional[int] = None
+    #: certified-optimal II for this design, when known: stamped by the
+    #: ``exact`` scheduler, or propagated across the scheduler axis by
+    #: :meth:`repro.explore.engine.ExploreResult.attach_exact_ii`
+    exact_ii: Optional[int] = None
 
     @property
     def label(self) -> str:
@@ -70,6 +74,38 @@ class DesignPoint:
     def area_rows(self) -> float:
         """Total rows: operators plus registers (§6.3 register model)."""
         return self.op_rows + self.registers * self.reg_rows
+
+    @property
+    def min_ii(self) -> int:
+        """``max(RecMII, ResMII)`` — the scheduler-independent lower
+        bound (0 for list-scheduled designs, which carry no MII)."""
+        return max(self.rec_mii, self.res_mii)
+
+    @property
+    def certified_optimal(self) -> bool:
+        """Is this design's II *proven* minimal?
+
+        True when the exact scheduler certified it (``exact_ii == ii``)
+        or when the II meets the RecMII/ResMII lower bound outright.
+        """
+        if self.exact_ii is not None and self.exact_ii == self.ii:
+            return True
+        return 0 < self.min_ii == self.ii
+
+    @property
+    def optimality_gap(self) -> Optional[int]:
+        """``ii - exact_ii`` when the optimum is known, else None.
+
+        A design at its MII lower bound is optimal by construction, so
+        the gap is 0 even without an exact-scheduler run.  Heuristic
+        designs whose group was never exactly scheduled report None
+        ("unknown"), never a guess.
+        """
+        if self.exact_ii is not None:
+            return self.ii - self.exact_ii
+        if 0 < self.min_ii == self.ii:
+            return 0
+        return None
 
     @property
     def total_cycles(self) -> float:

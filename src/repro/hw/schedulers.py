@@ -16,7 +16,14 @@ extension point future backends plug into:
   retries alternative node orderings (least-slack-first, memory-first)
   before giving up and moving to the next II.  It therefore never
   returns a worse II than the iterative scheduler, at the price of more
-  placement attempts per II.
+  placement attempts per II;
+* ``"exact"``     — the branch-and-bound optimal scheduler of
+  :mod:`repro.hw.exact`: decides every candidate II below the
+  backtracking heuristic's completely, so its II is certified minimal
+  (with per-II failure certificates) unless the DFG or search budget
+  overflows, in which case it degrades to the backtracking schedule
+  with ``certified=False``.  The differential-testing oracle the
+  heuristics are checked against.
 
 Registering a new strategy::
 
@@ -35,15 +42,17 @@ from __future__ import annotations
 from typing import Optional, Protocol, runtime_checkable
 
 from repro.core.dfg import DFG, DFGNode
+from repro.hw.exact import ExactSchedule, exact_modulo_schedule
 from repro.hw.listsched import ListSchedule, list_schedule
 from repro.hw.mii import EdgeView, default_edge_view
 from repro.hw.modulo import ModuloSchedule, _search, modulo_schedule
 from repro.hw.ops import OperatorLibrary
 
 __all__ = ["DEFAULT_SCHEDULER", "BacktrackingModuloScheduler",
-           "IterativeModuloScheduler", "ListScheduler", "Scheduler",
-           "available_schedulers", "backtracking_modulo_schedule",
-           "register_scheduler", "scheduler_by_name"]
+           "ExactModuloScheduler", "IterativeModuloScheduler",
+           "ListScheduler", "Scheduler", "available_schedulers",
+           "backtracking_modulo_schedule", "register_scheduler",
+           "scheduler_by_name"]
 
 #: Name resolved when a query/target does not choose a strategy.
 DEFAULT_SCHEDULER = "modulo"
@@ -168,6 +177,23 @@ class BacktrackingModuloScheduler:
                                             max_ii=max_ii)
 
 
+class ExactModuloScheduler:
+    """Branch-and-bound optimal modulo scheduling (the testing oracle).
+
+    Returns an :class:`repro.hw.exact.ExactSchedule` whose II is
+    certified minimal whenever the search completes within the
+    configured budget (``REPRO_EXACT_BUDGET`` search nodes,
+    ``REPRO_EXACT_NODE_LIMIT`` DFG nodes); beyond either it degrades to
+    the backtracking heuristic's schedule, uncertified.
+    """
+
+    name = "exact"
+    pipelined = True
+
+    def schedule(self, dfg, lib, edges=None, max_ii=None) -> ExactSchedule:
+        return exact_modulo_schedule(dfg, lib, edges=edges, max_ii=max_ii)
+
+
 _REGISTRY: dict[str, Scheduler] = {}
 
 
@@ -199,3 +225,4 @@ def available_schedulers() -> tuple[str, ...]:
 register_scheduler(ListScheduler())
 register_scheduler(IterativeModuloScheduler())
 register_scheduler(BacktrackingModuloScheduler())
+register_scheduler(ExactModuloScheduler())

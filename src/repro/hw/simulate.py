@@ -60,16 +60,31 @@ def simulate_modulo(dfg: DFG, lib: OperatorLibrary, sched: ModuloSchedule,
                     violations.append(
                         f"cycle {t}: {ports[t]} memory refs > "
                         f"{lib.mem_ports} ports")
-    # dependence check across overlapped iterations
-    for s, d, dist in edges:
-        for k in range(min(iterations, 4)):
-            if k + dist >= iterations:
-                continue
-            t_src = k * sched.ii + sched.time[s.nid] + lib.delay(s)
-            t_dst = (k + dist) * sched.ii + sched.time[d.nid]
-            if t_dst < t_src:
-                violations.append(
-                    f"dependence {s}->{d} (dist {dist}) violated at iter {k}")
+    # Dependence check across overlapped iterations.  A modulo schedule
+    # is periodic, so the start-time gap of an edge is the same for every
+    # source iteration k; the replay window only needs to cover the
+    # largest dependence distance plus the iterations a single schedule
+    # length keeps in flight.  (The old code hardcoded ``range(min(
+    # iterations, 4))`` and skipped any pairing past the replayed
+    # iterations, so distance > 4 edges — e.g. squash(8) backedges — and
+    # short replays were never checked at all.)  Replaying the window,
+    # rather than evaluating the k-invariant inequality once, is
+    # deliberate: this validator is an *independent dynamic check* and
+    # must not share its algebra with the scheduler's own static
+    # ``_violations`` pass.
+    if iterations and sched.ii > 0:
+        max_dist = max((dist for _, _, dist in edges), default=0)
+        in_flight = -(-sched.length // sched.ii)  # ceil: overlap depth
+        window = min(iterations, max_dist + in_flight + 1)
+        for s, d, dist in edges:
+            for k in range(window):
+                t_src = k * sched.ii + sched.time[s.nid] + lib.delay(s)
+                t_dst = (k + dist) * sched.ii + sched.time[d.nid]
+                if t_dst < t_src:
+                    violations.append(
+                        f"dependence {s}->{d} (dist {dist}) violated "
+                        f"at iter {k}")
+                    break  # periodic: one report per edge suffices
 
     total = (iterations - 1) * sched.ii + sched.length if iterations else 0
     return SimulationResult(

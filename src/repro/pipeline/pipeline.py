@@ -31,6 +31,7 @@ from repro.core.squash import locate_jammed_nest
 from repro.errors import LegalityError, ScheduleError
 from repro.hw.area import operator_rows, registers_original, \
     registers_pipelined
+from repro.hw.exact import ExactSchedule
 from repro.hw.modulo import ModuloSchedule
 from repro.hw.report import DesignPoint, variant_label
 from repro.hw.schedulers import DEFAULT_SCHEDULER, Scheduler, \
@@ -276,6 +277,10 @@ class CompilationPipeline:
             ii, rec, res = sched.ii, sched.rec_mii, sched.res_mii
         else:
             ii, rec, res = sched.length, 0, 0
+        # a certified exact schedule pins the design's optimal II; an
+        # uncertified (budget-degraded) one claims nothing
+        exact_ii = sched.ii if isinstance(sched, ExactSchedule) \
+            and sched.certified else None
         plan = VARIANT_PLANS[t.variant]
         return DesignPoint(
             kernel=built.kernel,
@@ -286,7 +291,8 @@ class CompilationPipeline:
             rec_mii=rec, res_mii=res,
             outer_trip=t.outer_trip, inner_trip=t.inner_trip,
             base_ii=base_ii, schedule_length=sched.length,
-            squash_ds=t.ds if t.variant == "jam+squash" else None)
+            squash_ds=t.ds if t.variant == "jam+squash" else None,
+            exact_ii=exact_ii)
 
     # -- driver -----------------------------------------------------------
 

@@ -89,3 +89,84 @@ class TestNullCache:
         cache.put(q, _point())
         assert cache.get(q) is None
         assert cache.stats.misses == 1 and cache.stats.stores == 0
+
+
+class TestForeignRecordTolerance:
+    """Records from an older/newer ``DesignPoint``/``DesignQuery`` field
+    set (possible under a custom ``REPRO_CACHE_DIR`` or a pinned
+    ``version=``) must decode as misses, not crash the sweep."""
+
+    def _tamper(self, cache, mutate):
+        import json
+        lines = cache.path.read_text().splitlines()
+        rec = json.loads(lines[0])
+        mutate(rec)
+        cache.path.write_text(json.dumps(rec) + "\n")
+
+    def test_record_from_the_future_is_a_miss(self, tmp_path):
+        q = DesignQuery("iir", "squash", ds=2)
+        cache = ResultCache(tmp_path)
+        cache.put(q, _point())
+        self._tamper(cache, lambda r: r["data"].update(hologram_rows=9))
+        reread = ResultCache(tmp_path)
+        assert reread.get(q) is None
+        assert reread.stats.misses == 1 and reread.stats.hits == 0
+
+    def test_record_missing_required_field_is_a_miss(self, tmp_path):
+        q = DesignQuery("iir", "squash", ds=2)
+        cache = ResultCache(tmp_path)
+        cache.put(q, _point())
+        self._tamper(cache, lambda r: r["data"].pop("ii"))
+        assert ResultCache(tmp_path).get(q) is None
+
+    def test_record_with_unknown_scheduler_is_a_miss(self, tmp_path):
+        q = DesignQuery("iir", "squash", ds=2)
+        cache = ResultCache(tmp_path)
+        cache.put(q, _point())
+        self._tamper(cache,
+                     lambda r: r["query"].update(scheduler="quantum"))
+        assert ResultCache(tmp_path).get(q) is None
+
+    def test_malformed_structure_is_a_miss(self, tmp_path):
+        q = DesignQuery("iir", "squash", ds=2)
+        cache = ResultCache(tmp_path)
+        cache.put(q, _point())
+        self._tamper(cache, lambda r: r.pop("kind"))
+        assert ResultCache(tmp_path).get(q) is None
+
+    def test_miss_recomputes_and_moves_on(self, tmp_path):
+        # the whole point: a foreign record must not poison evaluate()
+        from repro.explore import evaluate
+        q = DesignQuery("iir", "pipelined")
+        cache = ResultCache(tmp_path)
+        cache.put(q, _point(variant="pipelined", factor=1))
+        self._tamper(cache, lambda r: r["data"].update(alien=True))
+        result = evaluate([q], jobs=1, cache=ResultCache(tmp_path))
+        assert len(result.points()) == 1
+        assert result.cache_stats.misses == 1
+
+
+class TestCodeVersionClearHook:
+    def test_reset_is_registered_with_clear_caches(self):
+        from repro.caches import _CLEARERS
+        from repro.explore.cache import _reset_code_version
+        assert _reset_code_version in _CLEARERS
+
+    def test_reset_drops_the_memo(self):
+        from repro.explore import cache as cache_mod
+        from repro.explore.cache import _reset_code_version
+        first = code_version()
+        assert cache_mod._code_version == first
+        _reset_code_version()
+        assert cache_mod._code_version is None
+        assert code_version() == first  # recomputed, same sources
+
+    def test_clear_caches_recomputes_from_disk(self):
+        # clear_caches ends by clearing the persistent store, whose
+        # constructor re-reads the source tree — so after the hook the
+        # memo is *fresh*, never the value cached before the clear
+        import repro
+        from repro.explore import cache as cache_mod
+        first = code_version()
+        repro.clear_caches()
+        assert cache_mod._code_version == first  # same sources on disk

@@ -121,3 +121,49 @@ class TestResMII:
     def test_min_ii(self):
         dfg, _ = _dfg(build_fig41())
         assert min_ii(dfg, ACEV_LIBRARY) == 5
+
+
+class TestRecMIIIntegerArithmetic:
+    """Regression for the float-epsilon relaxation in
+    ``_has_cycle_exceeding``: every weight is an integer, and the tie
+    case ``delay == lam * distance`` (cycle weight exactly 0) must not
+    count as an exceeding cycle."""
+
+    def _tie_cycle(self, delays, dists):
+        from repro.core.dfg import DFG
+        g = DFG()
+        nodes = [g.add_node(kind="binop", ty=U32, op="add", name=f"n{i}")
+                 for i in range(len(delays))]
+        for i, d in enumerate(dists):
+            g.add_edge(nodes[i], nodes[(i + 1) % len(nodes)], d)
+        delay_of = {n.nid: delays[i] for i, n in enumerate(nodes)}
+        return g, (lambda n: delay_of[n.nid])
+
+    def test_exact_tie_is_not_an_exceeding_cycle(self):
+        from repro.hw.mii import _has_cycle_exceeding, default_edge_view
+        # delays 2+2 over distances 1+1: delay == 2 * distance exactly
+        g, delay = self._tie_cycle(delays=(2, 2), dists=(1, 1))
+        edges = default_edge_view(g)
+        assert _has_cycle_exceeding(edges, delay, 1)
+        assert not _has_cycle_exceeding(edges, delay, 2)
+
+    def test_recmii_unchanged_on_tie(self):
+        g, delay = self._tie_cycle(delays=(2, 2), dists=(1, 1))
+        assert rec_mii(g, delay) == 2
+
+    def test_fractional_bound_still_ceils(self):
+        # delay 3 over distance 2: RecMII = ceil(3/2) = 2, and at lam=2
+        # the weight-(-1) cycle must not be mistaken for exceeding
+        g, delay = self._tie_cycle(delays=(1, 2), dists=(1, 1))
+        assert rec_mii(g, delay) == 2
+
+    def test_self_cycle_tie(self):
+        from repro.core.dfg import DFG
+        from repro.hw.mii import _has_cycle_exceeding, default_edge_view
+        g = DFG()
+        n = g.add_node(kind="binop", ty=U32, op="mul", name="x")
+        g.add_edge(n, n, 2)  # delay 4 over distance 2: tie at lam 2
+        edges = default_edge_view(g)
+        assert not _has_cycle_exceeding(edges, lambda _: 4, 2)
+        assert _has_cycle_exceeding(edges, lambda _: 4, 1)
+        assert rec_mii(g, lambda _: 4) == 2
