@@ -62,11 +62,16 @@ def _timed_sweep(queries, share_analysis: bool) -> float:
 
     ``share_analysis=False`` reproduces the pre-pipeline compiler: the
     base analysis of each kernel nest (and every jam transform) is
-    rebuilt for every variant.
+    rebuilt for every variant.  The shared rounds pin the cache to its
+    in-process tier (``mem``): this ablation isolates analysis
+    *sharing*, and every round clears all caches, so letting it also
+    write the persistent artifact store would bill cross-process
+    durability (measured separately by ``benchmarks/bench_sweep.py``)
+    to the sharing side.
     """
     repro.clear_caches()
     old = os.environ.get("REPRO_ANALYSIS_CACHE")
-    os.environ["REPRO_ANALYSIS_CACHE"] = "1" if share_analysis else "0"
+    os.environ["REPRO_ANALYSIS_CACHE"] = "mem" if share_analysis else "0"
     try:
         t0 = time.perf_counter()
         result = evaluate(queries, jobs=1, cache=NullCache())

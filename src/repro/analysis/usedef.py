@@ -53,33 +53,53 @@ def stmt_defs(s: Stmt) -> set[str]:
     return set()
 
 
-def _live_block(stmts: list[Stmt], live_after: set[str]) -> set[str]:
+def _live_block(stmts: list[Stmt], live_after: set[str],
+                memo: "dict[int, set[str]] | None" = None) -> set[str]:
     live = set(live_after)
     for s in reversed(stmts):
-        live = _live_stmt(s, live)
+        live = _live_stmt(s, live, memo)
     return live
 
 
-def _live_stmt(s: Stmt, live_after: set[str]) -> set[str]:
+def _stmt_uses_memo(s: Stmt, memo: "dict[int, set[str]] | None"
+                    ) -> set[str]:
+    """Direct use set of one statement, memoized for the fixpoint.
+
+    The backward pass revisits every statement once per fixpoint round
+    (and 2^depth times under nested loops); the use sets are static, so
+    one liveness query shares them.  The memo is keyed by ``id`` and
+    lives only for the duration of a single traversal, during which the
+    statements are pinned alive by their program — no recycled-id hazard.
+    """
+    if memo is None:
+        return stmt_uses(s)
+    uses = memo.get(id(s))
+    if uses is None:
+        uses = memo[id(s)] = stmt_uses(s)
+    return uses
+
+
+def _live_stmt(s: Stmt, live_after: set[str],
+               memo: "dict[int, set[str]] | None" = None) -> set[str]:
     if isinstance(s, Assign):
         live = set(live_after)
         live.discard(s.var)
-        return live | uses_of_expr(s.expr)
+        return live | _stmt_uses_memo(s, memo)
     if isinstance(s, Store):
-        return live_after | stmt_uses(s)
+        return live_after | _stmt_uses_memo(s, memo)
     if isinstance(s, Block):
-        return _live_block(s.stmts, live_after)
+        return _live_block(s.stmts, live_after, memo)
     if isinstance(s, If):
-        t = _live_stmt(s.then, live_after)
-        e = _live_stmt(s.orelse, live_after)
-        return t | e | uses_of_expr(s.cond)
+        t = _live_stmt(s.then, live_after, memo)
+        e = _live_stmt(s.orelse, live_after, memo)
+        return t | e | _stmt_uses_memo(s, memo)
     if isinstance(s, For):
         # Fixpoint: whatever is live at the top of the body after one
         # iteration may flow around the backedge.
-        live_in_body = _live_stmt(s.body, live_after)
-        live_in_body = _live_stmt(s.body, live_after | live_in_body)
+        live_in_body = _live_stmt(s.body, live_after, memo)
+        live_in_body = _live_stmt(s.body, live_after | live_in_body, memo)
         live = (live_after | live_in_body) - {s.var}
-        return live | uses_of_expr(s.lo) | uses_of_expr(s.hi)
+        return live | _stmt_uses_memo(s, memo)
     raise TypeError(f"unknown statement node {type(s).__name__}")
 
 
@@ -129,8 +149,9 @@ def loop_liveness(loop: For, live_after_loop: set[str]) -> LoopLiveness:
 
     body_defs = variables_written(loop.body)
     # live at top of body, considering the backedge
-    live_top = _live_stmt(loop.body, live_after_loop)
-    live_top = _live_stmt(loop.body, live_after_loop | live_top)
+    memo: dict[int, set[str]] = {}
+    live_top = _live_stmt(loop.body, live_after_loop, memo)
+    live_top = _live_stmt(loop.body, live_after_loop | live_top, memo)
     live_in = (live_top - {loop.var}) | uses_of_expr(loop.lo) | uses_of_expr(loop.hi)
 
     info = LoopLiveness()

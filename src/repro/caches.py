@@ -17,6 +17,7 @@ from typing import Any, Callable, Hashable
 __all__ = ["PinningLRU", "clear_caches", "register_cache"]
 
 _CLEARERS: list[Callable[[], None]] = []
+_DISK_CLEARERS: list[Callable[[], None]] = []
 
 
 class PinningLRU:
@@ -58,25 +59,35 @@ class PinningLRU:
         self.misses = 0
 
 
-def register_cache(clear_fn: Callable[[], None]) -> Callable[[], None]:
+def register_cache(clear_fn: Callable[[], None], *,
+                   disk: bool = False) -> Callable[[], None]:
     """Register a cache's clear function with the global hook.
 
     Returns the function unchanged so it can be used as a decorator.
-    Registration is idempotent per function object.
+    Registration is idempotent per function object.  ``disk=True`` marks
+    caches whose state lives on disk (the persistent artifact stores);
+    ``clear_caches(memory_only=True)`` leaves those intact.
     """
-    if clear_fn not in _CLEARERS:
-        _CLEARERS.append(clear_fn)
+    registry = _DISK_CLEARERS if disk else _CLEARERS
+    if clear_fn not in registry:
+        registry.append(clear_fn)
     return clear_fn
 
 
-def clear_caches() -> None:
-    """Drop every registered process-local cache and the persistent
-    exploration result cache.
+def clear_caches(memory_only: bool = False) -> None:
+    """Drop every registered cache plus the persistent exploration
+    result cache.
 
     The one hook tests/benchmarks call to guarantee the next sweep
-    recomputes from scratch.
+    recomputes from scratch.  ``memory_only=True`` drops just the
+    process-local tiers — the warm-cache benchmark phases use it to
+    simulate a fresh worker process against populated on-disk stores.
     """
     for fn in list(_CLEARERS):
+        fn()
+    if memory_only:
+        return
+    for fn in list(_DISK_CLEARERS):
         fn()
     from repro.explore.cache import ResultCache
     ResultCache().clear()

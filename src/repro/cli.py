@@ -13,6 +13,11 @@ Commands
                 parallel through the persistent cache and reports the
                 Pareto frontier (``--pareto``), the best-design ranking
                 (``--best``), and skip records;
+``bench``       measure the sweep hot path (cold / warm / warm-recompile
+                phases with per-stage timings and cache hit rates) and
+                write a standardized ``BENCH_*.json`` record; in
+                ``--quick`` mode also byte-checks the formatted tables
+                against the golden fixtures;
 ``profile``     Table 1.1-style loop profile of one benchmark;
 ``squash``      transform one benchmark kernel, verify it, and report the
                 hardware estimate;
@@ -133,6 +138,29 @@ def _cmd_explore(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import json
+
+    from repro.harness.bench import format_bench, run_sweep_bench
+
+    factors = (2,) if args.quick else tuple(args.factors)
+    baseline = None
+    if args.baseline:
+        baseline = json.loads(pathlib.Path(args.baseline).read_text())
+    record = run_sweep_bench(factors=factors, target_spec=args.target,
+                             jobs=args.jobs, scheduler=args.scheduler,
+                             baseline=baseline)
+    print(format_bench(record))
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    golden = record.get("golden", {})
+    if golden.get("checked") and not golden.get("ok"):
+        print(f"GOLDEN DRIFT: {golden['detail']}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_profile(args) -> int:
     from repro.harness import render_table
     from repro.nimble import profile_summary
@@ -245,6 +273,22 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--clear-cache", action="store_true",
                    help="drop cached results before running")
     e.set_defaults(fn=_cmd_explore)
+
+    b = sub.add_parser(
+        "bench", help="measure the sweep hot path and write BENCH json")
+    b.add_argument("--quick", action="store_true",
+                   help="factors=(2,) + golden byte-check (CI smoke mode)")
+    b.add_argument("--factors", type=int, nargs="+", default=[2, 4, 8, 16])
+    b.add_argument("--target", default="acev")
+    b.add_argument("--scheduler", default="",
+                   help="strategy for pipelined variants (default: target's)")
+    b.add_argument("--jobs", type=int, default=None,
+                   help="workers per phase (default: scaled to the sweep)")
+    b.add_argument("--out", default="BENCH_4.json",
+                   help="where to write the JSON record")
+    b.add_argument("--baseline",
+                   help="baseline JSON ({cold_wall_s, ...}) for speedups")
+    b.set_defaults(fn=_cmd_bench)
 
     pr = sub.add_parser("profile", help="loop profile of one benchmark")
     pr.add_argument("benchmark")

@@ -28,7 +28,8 @@ from repro.errors import LegalityError
 from repro.ir.nodes import Program
 from repro.ir.visitors import variables_written
 
-__all__ = ["SquashCheck", "check_squash"]
+__all__ = ["PreparedSquash", "SquashCheck", "check_squash",
+           "classify_squash", "prepare_squash"]
 
 
 @dataclass
@@ -51,50 +52,155 @@ class SquashCheck:
             raise LegalityError("unroll-and-squash rejected", self.reasons)
 
 
-def check_squash(program: Program, nest: LoopNest, ds: int) -> SquashCheck:
-    """Run the full §4.1 requirement list; never raises."""
-    chk = SquashCheck()
-    if ds < 1:
-        chk.fail(f"unroll factor {ds} must be >= 1")
-        return chk
+@dataclass
+class PreparedSquash:
+    """The DS-independent 9/10ths of the legality analysis.
 
-    chk.outer_trip = trip_count(nest.outer)
-    chk.inner_trip = trip_count(nest.inner)
-    if chk.outer_trip is None:
-        chk.fail("outer loop trip count must be a compile-time constant "
-                 "(needed for tiling in blocks of DS)")
-    if chk.inner_trip is None:
-        chk.fail("inner loop trip count must be a compile-time constant")
-    elif chk.inner_trip < 1:
-        chk.fail("inner loop must execute at least once "
-                 "(control flow always passes through it)")
+    Everything :func:`check_squash` computes except the §4.2 distance
+    *classification* — trip counts, basic-block shape, bound
+    dependences, liveness, the scalar-parallelism verdict, and every
+    array dependence pair with its (DS-independent) distance set — so a
+    sweep over many DS factors, targets, and schedulers analyzes the
+    nest once and re-classifies per DS in microseconds.  Pickles
+    cleanly, so the shared analysis cache persists it across worker
+    processes (see :class:`repro.pipeline.analysis.AnalysisCache`).
+    """
+
+    outer_trip: int | None
+    inner_trip: int | None
+    #: §4.1 structural failures (reason strings, in check order)
+    base_failures: list[str]
+    liveness: LoopLiveness
+    #: scalar-parallelism outcome (None until base checks pass)
+    scalar_conflicts: set[str] | None = None
+    #: (a1, a2, distance set, formatted distance, is output dep), in the
+    #: exact order check_outer_parallel enumerates pairs
+    pairs: list[tuple] | None = None
+
+
+def prepare_squash(program: Program, nest: LoopNest) -> PreparedSquash:
+    """Run every DS-independent part of the §4.1 requirement list."""
+    from repro.analysis.dependence import collect_accesses, outer_distance
+    from repro.analysis.parallel import _fmt
+    from itertools import combinations
+
+    failures: list[str] = []
+    outer_trip = trip_count(nest.outer)
+    inner_trip = trip_count(nest.inner)
+    if outer_trip is None:
+        failures.append("outer loop trip count must be a compile-time "
+                        "constant (needed for tiling in blocks of DS)")
+    if inner_trip is None:
+        failures.append("inner loop trip count must be a compile-time "
+                        "constant")
+    elif inner_trip < 1:
+        failures.append("inner loop must execute at least once "
+                        "(control flow always passes through it)")
 
     if not is_straightline(nest.inner.body):
-        chk.fail("inner loop body must be a single basic block "
-                 "(apply if-conversion / code hoisting first, §4.2)")
+        failures.append("inner loop body must be a single basic block "
+                        "(apply if-conversion / code hoisting first, §4.2)")
 
     bound_reads = uses_of_expr(nest.inner.lo) | uses_of_expr(nest.inner.hi)
     if nest.outer.var in bound_reads:
-        chk.fail("inner loop bounds depend on the outer induction variable")
+        failures.append("inner loop bounds depend on the outer induction "
+                        "variable")
     written = variables_written(nest.outer.body)
     clobbered = bound_reads & written
     if clobbered:
-        chk.fail(f"inner loop bounds read {sorted(clobbered)} "
-                 "which the outer body writes")
+        failures.append(f"inner loop bounds read {sorted(clobbered)} "
+                        "which the outer body writes")
 
     # liveness summary for the DFG build (live-out = anything the outer body
     # reads after the inner loop, approximated by reads in post statements)
     post_reads: set[str] = set()
     for s in nest.post_stmts():
-        from repro.analysis.usedef import stmt_uses
         from repro.ir.visitors import variables_read
         post_reads |= variables_read(s)
-    chk.liveness = loop_liveness(nest.inner, post_reads)
+    liveness = loop_liveness(nest.inner, post_reads)
 
-    if chk.ok:
-        rep = check_outer_parallel(program, nest, ds, allow_ivs=False)
-        chk.parallelism = rep
-        if not rep.ok:
-            for r in rep.reasons:
-                chk.fail(r)
+    prep = PreparedSquash(outer_trip=outer_trip, inner_trip=inner_trip,
+                          base_failures=failures, liveness=liveness)
+    if failures:
+        return prep  # check_squash never ran the parallel check here
+
+    # --- the DS-independent parallel analysis (check_outer_parallel's
+    # expensive half: scalar liveness + every store pair's distance set,
+    # in its exact enumeration order) ---------------------------------
+    live = loop_liveness(nest.outer, set())
+    prep.scalar_conflicts = set(live.carried)
+
+    rom_names = frozenset(n for n, d in program.arrays.items() if d.rom)
+    accesses = collect_accesses(nest, rom_names=rom_names)
+    by_array: dict[str, list] = {}
+    for a in accesses:
+        by_array.setdefault(a.array, []).append(a)
+    pairs: list[tuple] = []
+    for array, accs in by_array.items():
+        for a1, a2 in combinations(accs, 2):
+            if not (a1.is_store or a2.is_store):
+                continue
+            dist = outer_distance(a1, a2, nest)
+            pairs.append((a1, a2, dist, _fmt(dist), False))
+        for a in accs:
+            if a.is_store:
+                dist = outer_distance(a, a, nest)
+                pairs.append((a, a, dist, _fmt(dist), True))
+    prep.pairs = pairs
+    return prep
+
+
+def classify_squash(prep: PreparedSquash, ds: int) -> SquashCheck:
+    """The per-DS classification over a prepared analysis.
+
+    Produces a :class:`SquashCheck` identical to what the monolithic
+    check computed for this DS — same reasons, same order, same report
+    fields — at the cost of one ``squash_case`` call per store pair.
+    """
+    from repro.analysis.dependence import squash_case
+
+    chk = SquashCheck()
+    if ds < 1:
+        chk.fail(f"unroll factor {ds} must be >= 1")
+        return chk
+    chk.outer_trip = prep.outer_trip
+    chk.inner_trip = prep.inner_trip
+    for reason in prep.base_failures:
+        chk.fail(reason)
+    chk.liveness = prep.liveness
+    if not chk.ok:
+        return chk
+
+    rep = ParallelismReport()
+    assert prep.scalar_conflicts is not None and prep.pairs is not None
+    if prep.scalar_conflicts:
+        rep.scalar_conflicts = prep.scalar_conflicts
+        rep.fail(f"outer-carried scalar dependences on "
+                 f"{sorted(prep.scalar_conflicts)}; "
+                 "iterations are not parallel")
+    for a1, a2, dist, dist_str, is_output in prep.pairs:
+        if squash_case(dist, ds) == 3:
+            rep.array_conflicts.append((a1, a2, dist))
+            if is_output:
+                rep.fail(f"array {a1.array!r}: output dependence distance "
+                         f"{dist_str} intersects the data-set window "
+                         f"±{ds - 1}")
+            else:
+                rep.fail(f"array {a1.array!r}: dependence distance "
+                         f"{dist_str} intersects the data-set window "
+                         f"±{ds - 1}")
+    chk.parallelism = rep
+    if not rep.ok:
+        for r in rep.reasons:
+            chk.fail(r)
     return chk
+
+
+def check_squash(program: Program, nest: LoopNest, ds: int) -> SquashCheck:
+    """Run the full §4.1 requirement list; never raises.
+
+    One code path with the shared-analysis fast path: the prepared
+    (DS-independent) analysis feeds the per-DS classification, so a
+    cached :class:`PreparedSquash` yields byte-identical checks.
+    """
+    return classify_squash(prepare_squash(program, nest), ds)

@@ -1,0 +1,56 @@
+"""Validated environment-variable parsing for the perf/cache knobs.
+
+Every knob the sweep hot path reads — ``REPRO_JOBS``,
+``REPRO_EXACT_BUDGET``, ``REPRO_EXACT_NODE_LIMIT``,
+``REPRO_ANALYSIS_CACHE`` — goes through this module, so a typo'd value
+surfaces as a clear :class:`~repro.errors.ReproError` naming the
+variable and the accepted range instead of a raw ``ValueError``
+traceback from deep inside a worker process.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.errors import ReproError
+
+__all__ = ["ANALYSIS_CACHE_ENV", "analysis_cache_mode", "env_int"]
+
+#: Controls the shared-analysis machinery (see :mod:`repro.pipeline.analysis`
+#: and :mod:`repro.hw.iimemo`): ``"0"`` disables sharing entirely (the
+#: benchmark ablation baseline), ``"mem"`` keeps the in-process tier only,
+#: anything else (default) enables the full two-tier (memory + disk) cache.
+ANALYSIS_CACHE_ENV = "REPRO_ANALYSIS_CACHE"
+
+
+def env_int(name: str, default: Optional[int],
+            minimum: Optional[int] = None) -> Optional[int]:
+    """Read an integer knob; unset/empty returns ``default``.
+
+    Non-integer or below-``minimum`` values raise :class:`ReproError`
+    with the variable name, the offending value, and the accepted range.
+    """
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        val = int(raw)
+    except ValueError:
+        raise ReproError(
+            f"{name}={raw!r} is not an integer; set it to a whole number"
+            + (f" >= {minimum}" if minimum is not None else "")) from None
+    if minimum is not None and val < minimum:
+        raise ReproError(
+            f"{name}={raw!r} is out of range; the minimum is {minimum}")
+    return val
+
+
+def analysis_cache_mode() -> str:
+    """The sharing mode: ``"off"``, ``"mem"``, or ``"disk"`` (two-tier)."""
+    raw = os.environ.get(ANALYSIS_CACHE_ENV, "1").strip().lower()
+    if raw == "0":
+        return "off"
+    if raw == "mem":
+        return "mem"
+    return "disk"

@@ -1,17 +1,22 @@
 """Parallel design-space evaluation engine.
 
 Fans :class:`DesignQuery` objects out over a
-``concurrent.futures.ProcessPoolExecutor`` (``jobs`` workers, chunked to
-amortize pickling), consulting a persistent :class:`ResultCache` first so
-repeated sweeps are incremental.  Designs the compiler rejects —
-``LegalityError`` / ``ScheduleError`` — come back as structured
-:class:`SkipRecord` entries instead of crashing the sweep; every other
-exception still propagates.
+``concurrent.futures.ProcessPoolExecutor``, consulting a persistent
+:class:`ResultCache` first so repeated sweeps are incremental.  Designs
+the compiler rejects — ``LegalityError`` / ``ScheduleError`` — come back
+as structured :class:`SkipRecord` entries instead of crashing the sweep;
+every other exception still propagates.
+
+The unit of dispatch is a *batch*: cache-missing queries are grouped by
+``(kernel, variant)`` so one worker ships each kernel once and compiles
+all its targets, factors, and schedulers against the shared base
+analysis (and the shared II-search memo) instead of re-running the
+front-end in every process that happens to receive one of its queries.
 
 The worker, :func:`repro.nimble.compiler.compile_query`, is a pure
-function of the query, so results are independent of worker count and
-arrival order: ``evaluate(qs, jobs=1)`` and ``evaluate(qs, jobs=8)``
-return identical points.
+function of the query, so results are independent of worker count,
+batch shape, and arrival order: ``evaluate(qs, jobs=1)`` and
+``evaluate(qs, jobs=8)`` return identical points.
 """
 
 from __future__ import annotations
@@ -21,16 +26,21 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+from repro.env import env_int
 from repro.explore.cache import CacheStats, NullCache, ResultCache
 from repro.explore.space import DesignQuery, SkipRecord
 from repro.hw.report import DesignPoint
-from repro.nimble.compiler import compile_query
+from repro.nimble.compiler import compile_query, compile_query_batch
 
 __all__ = ["ExploreResult", "default_jobs", "evaluate"]
 
-#: Cap on the default worker count: the sweeps are ~tens of designs, so
-#: more workers than this only pay fork cost.
+#: Cap on the default worker count for *small* sweeps: tens of designs
+#: pay more in fork cost than they win in parallelism beyond this.
 _MAX_DEFAULT_JOBS = 8
+
+#: Hard ceiling on the auto-scaled worker count for large sweeps (the
+#: ``REPRO_JOBS`` override is never capped).
+_MAX_SCALED_JOBS = 32
 
 
 def _physical_target(spec: str) -> str:
@@ -46,17 +56,51 @@ def _physical_target(spec: str) -> str:
     return name + ("::" + ",".join(kept) if kept else "")
 
 
-def default_jobs() -> int:
-    """Worker count when the caller does not choose: ``REPRO_JOBS`` or
-    the machine's core count, capped at ``_MAX_DEFAULT_JOBS``."""
-    env = os.environ.get("REPRO_JOBS")
-    if env:
-        return max(1, int(env))
+def default_jobs(n_tasks: Optional[int] = None) -> int:
+    """Worker count when the caller does not choose.
+
+    ``REPRO_JOBS`` (validated; non-integer or < 1 raises
+    :class:`~repro.errors.ReproError`) always wins.  Otherwise the
+    machine's core count, capped at ``_MAX_DEFAULT_JOBS`` — unless
+    ``n_tasks`` says the sweep is large, in which case the cap scales
+    with the actual work (one worker per ~4 dispatch units, up to
+    ``_MAX_SCALED_JOBS``) instead of idling cores on thousand-point
+    sweeps.
+    """
+    env = env_int("REPRO_JOBS", None, minimum=1)
+    if env is not None:
+        return env
     try:
         cores = len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
         cores = os.cpu_count() or 1
-    return max(1, min(cores, _MAX_DEFAULT_JOBS))
+    cap = _MAX_DEFAULT_JOBS
+    if n_tasks is not None and n_tasks > 4 * _MAX_DEFAULT_JOBS:
+        cap = min(_MAX_SCALED_JOBS, n_tasks // 4)
+    return max(1, min(cores, cap))
+
+
+def _batched(todo: list[DesignQuery],
+             jobs: Optional[int] = None) -> list[list[int]]:
+    """Group positions in ``todo`` by ``(kernel, variant)``.
+
+    Batch order follows first appearance, and queries keep their
+    relative order inside a batch, so dispatch is deterministic.  When
+    grouping alone would leave fewer batches than ``jobs`` (e.g. a
+    single-kernel sweep over many factors), large groups are split so
+    the requested parallelism is honoured — locality is a tie-breaker,
+    never a reason to idle explicitly requested workers.
+    """
+    groups: dict[tuple[str, str], list[int]] = {}
+    for pos, q in enumerate(todo):
+        groups.setdefault((q.kernel, q.variant), []).append(pos)
+    batches = list(groups.values())
+    if jobs is not None and len(batches) < jobs:
+        size = max(1, -(-len(todo) // jobs))
+        batches = [batch[i:i + size]
+                   for batch in batches
+                   for i in range(0, len(batch), size)]
+    return batches
 
 
 @dataclass
@@ -67,6 +111,12 @@ class ExploreResult:
     results: list["DesignPoint | SkipRecord"]
     cache_stats: CacheStats = field(default_factory=CacheStats)
     jobs: int = 1
+    #: cumulative per-stage worker wall time (seconds) for this run's
+    #: freshly-compiled queries — cache hits contribute nothing
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: aggregated worker-side shared-cache counters (analysis + II memo,
+    #: memory and disk tiers) for this run's freshly-compiled queries
+    cache_counters: dict[str, int] = field(default_factory=dict)
 
     def pairs(self) -> list[tuple[DesignQuery, "DesignPoint | SkipRecord"]]:
         return list(zip(self.queries, self.results))
@@ -139,12 +189,14 @@ def evaluate(queries: "Sequence[DesignQuery] | Iterable[DesignQuery]",
              chunksize: Optional[int] = None) -> ExploreResult:
     """Evaluate every query, through the cache, in parallel.
 
-    ``jobs=None`` picks :func:`default_jobs`; ``jobs=1`` runs inline
-    (no pool, deterministic single-process debugging).  ``cache=None``
-    disables caching entirely.
+    ``jobs=None`` picks :func:`default_jobs` scaled by the cache-miss
+    count (a fully-warm run forks nothing); ``jobs=1`` runs inline
+    (no pool, deterministic single-process debugging).
+    ``cache=None`` disables caching entirely.  ``chunksize`` counts
+    *batches* per pool task and is likewise derived from the cache-miss
+    set, not the raw query count.
     """
     queries = list(queries)
-    jobs = default_jobs() if jobs is None else max(1, jobs)
     cache = cache if cache is not None else NullCache()
     # snapshot the cache counters so the result reports THIS run's
     # hit/miss/store deltas even when the caller reuses one cache
@@ -159,23 +211,45 @@ def evaluate(queries: "Sequence[DesignQuery] | Iterable[DesignQuery]",
         else:
             pending.append(i)
 
+    stage_seconds: dict[str, float] = {}
+    cache_counters: dict[str, int] = {}
     if pending:
         todo = [queries[i] for i in pending]
-        workers = min(jobs, len(todo))
+        jobs = default_jobs(len(todo)) if jobs is None else max(1, jobs)
+        batches = _batched(todo, jobs)
+        workers = min(jobs, len(batches))
         if workers <= 1:
-            fresh = [compile_query(q) for q in todo]
+            payloads = [compile_query_batch([todo[p] for p in posns])
+                        for posns in batches]
         else:
             if chunksize is None:
-                chunksize = max(1, len(todo) // (workers * 4))
+                # contiguous chunks: batches enumerate kernel-adjacent
+                # ((k, original), (k, pipelined), (k, squash), …), so a
+                # chunk covering one kernel's variant group keeps its
+                # base analysis, jam transforms, and II memos in one
+                # worker instead of re-deriving them in four
+                chunksize = max(1, -(-len(batches) // workers))
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                fresh = list(pool.map(compile_query, todo,
-                                      chunksize=chunksize))
-        for i, q, r in zip(pending, todo, fresh):
-            results[i] = r
-            cache.put(q, r)
+                payloads = list(pool.map(
+                    compile_query_batch,
+                    [[todo[p] for p in posns] for posns in batches],
+                    chunksize=chunksize))
+        for posns, payload in zip(batches, payloads):
+            for p, r in zip(posns, payload["results"]):
+                results[pending[p]] = r
+                cache.put(todo[p], r)
+            for stage, seconds in payload["stages"].items():
+                stage_seconds[stage] = stage_seconds.get(stage, 0.0) \
+                    + seconds
+            for key, val in payload["counters"].items():
+                cache_counters[key] = cache_counters.get(key, 0) + val
+    else:
+        jobs = default_jobs() if jobs is None else max(1, jobs)
 
     run_stats = CacheStats(hits=cache.stats.hits - before[0],
                            misses=cache.stats.misses - before[1],
                            stores=cache.stats.stores - before[2])
     return ExploreResult(queries=queries, results=results,
-                         cache_stats=run_stats, jobs=jobs)
+                         cache_stats=run_stats, jobs=jobs,
+                         stage_seconds=stage_seconds,
+                         cache_counters=cache_counters)

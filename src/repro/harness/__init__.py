@@ -1,6 +1,7 @@
 """Experiment harness: runners + formatters for every thesis table/figure."""
 
 from repro.harness.tables import render_series, render_table, render_timeline  # noqa: F401
+from repro.harness.bench import format_bench, run_sweep_bench  # noqa: F401
 from repro.harness.experiments import (  # noqa: F401
     VARIANT_LABELS, clear_caches, figure_series, format_fig_2_4,
     format_figure, format_table_1_1, format_table_6_1, format_table_6_2,

@@ -38,11 +38,11 @@ nodes, the result degrades gracefully to that heuristic schedule with
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.dfg import DFG, DFGNode
+from repro.env import env_int
 from repro.hw.mii import EdgeView, default_edge_view, rec_mii, res_mii
 from repro.hw.modulo import ModuloSchedule, _delay_map
 from repro.hw.ops import OperatorLibrary
@@ -113,8 +113,9 @@ class _Budget:
 
 
 def _env_int(name: str, default: int) -> int:
-    raw = os.environ.get(name)
-    return int(raw) if raw else default
+    """Validated env override (``repro.env.env_int``): non-integer or
+    negative values raise a clear :class:`repro.errors.ReproError`."""
+    return env_int(name, default, minimum=0)
 
 
 # ---------------------------------------------------------------------------
@@ -389,8 +390,34 @@ def exact_modulo_schedule(dfg: DFG, lib: OperatorLibrary,
     rmii, smii = ub.rec_mii, ub.res_mii
     start_ii = max(rmii, smii)
 
+    # Incremental search: an earlier identical run's failed-II
+    # certificates are deterministic refutations, so they serve as lower
+    # bounds — those candidates are skipped instead of re-decided.  Any
+    # *new* refutations this run proves are merged back into the memo
+    # (sound even on budget exhaustion: only complete verdicts land in
+    # ``failed``, never budget-aborted decisions).  The budget knobs are
+    # part of the flavor so a tightly-budgeted search keeps its
+    # degradation semantics instead of borrowing a richer run's proofs.
+    from repro.hw import iimemo
+    sig = iimemo.search_signature(
+        dfg, lib, edges, f"exact:{budget}:{node_limit}", max_ii, dmap=dmap)
+    record = iimemo.memo_get(sig)
+    known: dict[int, IICertificate] = {}
+    if record is not None:
+        known = {ii: IICertificate(ii, reason, explored)
+                 for ii, reason, explored in record.get("failed", ())}
+
+    def remember(failed: list[IICertificate]) -> None:
+        fresh = [c for c in failed if c.ii not in known]
+        if fresh:
+            merged = sorted(set(known.values()) | set(failed),
+                            key=lambda c: c.ii)
+            iimemo.memo_put(sig, {"failed": [(c.ii, c.reason, c.explored)
+                                             for c in merged]})
+
     def heuristic(certified: bool, failed: list[IICertificate],
                   explored: int) -> ExactSchedule:
+        remember(failed)
         return _package(dict(ub.time), ub.ii, rmii, smii, dfg, lib, dmap,
                         certified=certified, failed=tuple(failed),
                         explored=explored,
@@ -405,12 +432,16 @@ def exact_modulo_schedule(dfg: DFG, lib: OperatorLibrary,
     bud = _Budget(budget)
     failed: list[IICertificate] = []
     for ii in range(start_ii, ub.ii):
+        if ii in known:
+            failed.append(known[ii])
+            continue
         before = bud.spent
         try:
             time, reason = _decide_ii(dfg, edges, lib, ii, dmap, bud)
         except _BudgetExceeded:
             return heuristic(False, failed, bud.spent)
         if time is not None:
+            remember(failed)
             return _package(time, ii, rmii, smii, dfg, lib, dmap,
                             certified=True, failed=tuple(failed),
                             explored=bud.spent)

@@ -1,0 +1,110 @@
+"""Two-tier memo of II-search outcomes (the incremental II search).
+
+The modulo schedulers walk candidate IIs upward from
+``max(RecMII, ResMII)``; for every II below the answer they burn a full
+placement-and-repair budget (and the exact scheduler a complete
+branch-and-bound refutation) only to fail.  Those failures are
+*deterministic facts* about the (DFG, edge view, operator library)
+triple: a replayed search fails at exactly the same IIs, with exactly
+the same intermediate states.  This module records them — per search
+*flavor* (``modulo``/``backtrack``/``exact``, which differ in their
+placement-order sets) — so a later search over the same design skips
+every provably failing candidate and pays for exactly one placement at
+the answer.  RecMII/ResMII ride along, which also skips the
+Bellman-Ford lambda probes on a warm search.
+
+Records are keyed by a content signature over everything the search
+reads: node delays, memory-port usage, the edge-distance view,
+``mem_ports``, the flavor, and the ``max_ii`` cap.  Two tiers, mirroring
+:class:`repro.pipeline.analysis.AnalysisCache`:
+
+* an in-process bounded LRU (object identity plays no role — the key is
+  content, so it also hits across schedulers/targets that share a
+  design within one process, e.g. the exact scheduler's internal
+  backtracking upper-bound probe);
+* the persistent :func:`repro.store.iisearch_store`, shared across
+  worker processes and across runs.
+
+Because a memo hit only *skips refuted candidates* — the winning II is
+still re-placed/re-decided by the ordinary machinery — the resulting
+schedule is bit-identical to the from-scratch search's (guarded by the
+differential suite in ``tests/hw/test_exact_oracle.py``).
+
+``REPRO_ANALYSIS_CACHE=0`` disables the memo entirely, ``=mem`` keeps
+the in-process tier only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from repro.caches import PinningLRU, register_cache
+from repro.core.dfg import DFG
+from repro.env import analysis_cache_mode
+from repro.hw.mii import EdgeView
+from repro.hw.ops import OperatorLibrary
+from repro.store import iisearch_store
+
+__all__ = ["memo_get", "memo_put", "memo_stats", "search_signature"]
+
+#: In-process tier: signature -> record (records are tiny dicts).
+_MEMO = PinningLRU(maxsize=4096)
+register_cache(_MEMO.clear)
+
+
+def search_signature(dfg: DFG, lib: OperatorLibrary,
+                     edges: EdgeView, flavor: str,
+                     max_ii: Optional[int] = None,
+                     dmap: Optional[dict[int, int]] = None) -> str:
+    """Content hash of one II-search problem instance.
+
+    Covers every input the search reads: per-node (delay, memory-port
+    use), the edge-distance view, the DFG's *raw* edges (their
+    distance-0 subgraph drives ``topo_order`` and the slack orders, and
+    relaxation erases raw-distance information, so the view alone would
+    under-key the placement order), the port count, the strategy flavor
+    (which fixes the placement-order set), and the ``max_ii`` cap.
+    Node ids are construction-deterministic, so the signature is stable
+    across processes.
+    """
+    delay = dmap.__getitem__ if dmap is not None else None
+    parts = [f"{flavor}|{max_ii}|{lib.mem_ports}"]
+    parts += [f"{n.nid}:{delay(n.nid) if delay else lib.delay(n)}:"
+              f"{1 if lib.uses_mem_port(n) else 0}" for n in dfg.nodes]
+    parts.append("view")
+    parts += [f"{s.nid}>{d.nid}:{dist}" for s, d, dist in edges]
+    parts.append("raw")
+    parts += [f"{e.src.nid}>{e.dst.nid}:{e.dist}" for e in dfg.edges]
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()[:32]
+
+
+def memo_get(signature: str) -> Optional[dict]:
+    """Look one search problem up, through both tiers."""
+    mode = analysis_cache_mode()
+    if mode == "off":
+        return None
+    record = _MEMO.get(signature)
+    if record is not None:
+        return record
+    if mode == "disk":
+        record = iisearch_store().get(signature)
+        if isinstance(record, dict):
+            return _MEMO.put(signature, (), record)
+    return None
+
+
+def memo_put(signature: str, record: dict) -> None:
+    """Publish one search outcome to both enabled tiers."""
+    mode = analysis_cache_mode()
+    if mode == "off":
+        return
+    _MEMO.put(signature, (), record)
+    if mode == "disk":
+        iisearch_store().put(signature, record)
+
+
+def memo_stats() -> dict:
+    """Counters for benchmarking: in-process + disk tier."""
+    return {"mem_hits": _MEMO.hits, "mem_misses": _MEMO.misses,
+            "disk": iisearch_store().stats.as_dict()}

@@ -49,16 +49,8 @@ def squash_distances(dfg: DFG, sa: StageAssignment) -> EdgeView:
     return out
 
 
-def _cycle_edges(edges: EdgeView) -> EdgeView:
-    """Edges that can lie on a cycle: both ends in one strongly connected
-    component (iterative Tarjan).
-
-    RecMII is a maximum over *cycles*, so acyclic regions of the graph —
-    the overwhelming majority of a jammed DFG — cannot affect it.
-    Restricting the Bellman-Ford search to SCC-internal edges preserves
-    the result exactly while shrinking the hot search from O(V*E) over
-    the whole graph to the (tiny) recurrence subgraphs.
-    """
+def _scc_map(edges: EdgeView) -> dict[int, int]:
+    """Node id -> strongly-connected-component id (iterative Tarjan)."""
     adj: dict[int, list[int]] = {}
     for s, d, _ in edges:
         adj.setdefault(s.nid, []).append(d.nid)
@@ -105,60 +97,110 @@ def _cycle_edges(edges: EdgeView) -> EdgeView:
             if work:
                 u, _ = work[-1]
                 low[u] = min(low[u], low[v])
+    return comp
+
+
+def _cycle_edges(edges: EdgeView) -> EdgeView:
+    """Edges that can lie on a cycle: both ends in one strongly connected
+    component.
+
+    RecMII is a maximum over *cycles*, so acyclic regions of the graph —
+    the overwhelming majority of a jammed DFG — cannot affect it.
+    Restricting the Bellman-Ford search to SCC-internal edges preserves
+    the result exactly while shrinking the hot search from O(V*E) over
+    the whole graph to the (tiny) recurrence subgraphs.
+    """
+    comp = _scc_map(edges)
     return [(s, d, dd) for s, d, dd in edges
             if comp[s.nid] == comp[d.nid]]
 
 
-def _has_cycle_exceeding(edges: EdgeView, delay: Callable[[DFGNode], int],
-                         lam: int) -> bool:
+def _scc_arcs(edges: EdgeView, delay: Callable[[DFGNode], int]
+              ) -> list[tuple[list[int], list[tuple[int, int, int, int]]]]:
+    """Cycle-capable edges, grouped by SCC, as precomputed probe arcs.
+
+    Each group is ``(node ids, [(u, v, delay(u), dist), ...])`` — the
+    structure every lambda probe of that component shares, built once
+    per :func:`rec_mii` call.
+    """
+    comp = _scc_map(edges)
+    nids: dict[int, dict[int, None]] = {}
+    arcs: dict[int, list[tuple[int, int, int, int]]] = {}
+    for s, d, dd in edges:
+        c = comp[s.nid]
+        if c != comp[d.nid]:
+            continue
+        arcs.setdefault(c, []).append((s.nid, d.nid, delay(s), dd))
+        group = nids.setdefault(c, {})
+        group[s.nid] = None
+        group[d.nid] = None
+    return [(list(nids[c]), arcs[c]) for c in arcs]
+
+
+def _probe_exceeding(nids: list[int],
+                     arcs: list[tuple[int, int, int, int]],
+                     lam: int) -> bool:
     """Is there a cycle with sum(delay) > lam * sum(distance)?
 
     Bellman-Ford negative-cycle detection on weights
-    ``-(delay(src) - lam*dist)``.  Delays, lambda, and distances are all
-    integers, so relaxation compares exactly — a float epsilon here
-    could mask a genuine unit-weight cycle or, worse, let rounding turn
-    the tie case ``delay == lam * distance`` (weight exactly 0, *not* an
-    exceeding cycle) into a spurious one.
+    ``-(delay(src) - lam*dist)``; the ``(u, v, delay, dist)`` arc list is
+    precomputed once per component and only the weights are rescaled per
+    probe.  Delays, lambda, and distances are all integers, so
+    relaxation compares exactly — a float epsilon here could mask a
+    genuine unit-weight cycle or, worse, let rounding turn the tie case
+    ``delay == lam * distance`` (weight exactly 0, *not* an exceeding
+    cycle) into a spurious one.
     """
-    nodes: dict[int, DFGNode] = {}
-    for s, d, _ in edges:
-        nodes[s.nid] = s
-        nodes[d.nid] = d
-    dist_map: dict[int, int] = {nid: 0 for nid in nodes}
-    n = len(nodes)
-    arcs = [(s.nid, d.nid, -(delay(s) - lam * dd)) for s, d, dd in edges]
-    for it in range(n):
+    dist_map: dict[int, int] = {nid: 0 for nid in nids}
+    for _ in range(len(nids)):
         changed = False
-        for u, v, w in arcs:
-            if dist_map[u] + w < dist_map[v]:
-                dist_map[v] = dist_map[u] + w
+        for u, v, dly, dd in arcs:
+            t = dist_map[u] - dly + lam * dd
+            if t < dist_map[v]:
+                dist_map[v] = t
                 changed = True
         if not changed:
             return False
     return True  # still relaxing after n passes: negative cycle exists
 
 
+def _has_cycle_exceeding(edges: EdgeView, delay: Callable[[DFGNode], int],
+                         lam: int) -> bool:
+    """One-shot probe over a raw edge view (kept for tests/callers)."""
+    nids: dict[int, None] = {}
+    for s, d, _ in edges:
+        nids[s.nid] = None
+        nids[d.nid] = None
+    arcs = [(s.nid, d.nid, delay(s), dd) for s, d, dd in edges]
+    return _probe_exceeding(list(nids), arcs, lam)
+
+
 def rec_mii(dfg: DFG, delay: Callable[[DFGNode], int],
             edges: Optional[EdgeView] = None) -> int:
-    """Recurrence-constrained minimum II (1 if the graph is acyclic)."""
+    """Recurrence-constrained minimum II (1 if the graph is acyclic).
+
+    The bound decomposes over strongly connected components — a cycle
+    never leaves its SCC — so each component gets its own binary search
+    over its own (much smaller) delay budget, with the running maximum
+    as the lower bound: components that cannot raise the answer are
+    dismissed with a single probe.
+    """
     edges = edges if edges is not None else default_edge_view(dfg)
-    edges = _cycle_edges(list(edges))
-    if not edges:
-        return 1
-    # any cycle's delay is bounded by the cycle-capable nodes' total delay
-    # (and cycle distances are >= 1), so the search range can stop there
-    cycle_nodes = {s.nid: s for s, _, _ in edges}
-    cycle_nodes.update((d.nid, d) for _, d, _ in edges)
-    hi = sum(delay(n) for n in cycle_nodes.values()) + 1
-    lo = 0
-    # smallest lam with no cycle exceeding lam  ==>  RecMII = lam
-    while lo < hi:
-        mid = (lo + hi) // 2
-        if _has_cycle_exceeding(edges, delay, mid):
-            lo = mid + 1
-        else:
-            hi = mid
-    return max(1, lo)
+    best = 1
+    for nids, arcs in _scc_arcs(list(edges), delay):
+        # any cycle's delay is bounded by the component's total node
+        # delay (and cycle distances are >= 1): the search stops there
+        hi = sum({u: dly for u, _, dly, _ in arcs}.values()) + 1
+        lo = best
+        # smallest lam with no cycle exceeding lam  ==>  this SCC's RecMII
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if _probe_exceeding(nids, arcs, mid):
+                lo = mid + 1
+            else:
+                hi = mid
+        best = max(best, lo)
+    return best
 
 
 def res_mii(dfg: DFG, lib: OperatorLibrary) -> int:

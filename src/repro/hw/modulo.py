@@ -56,48 +56,72 @@ def _delay_map(dfg: DFG, lib: OperatorLibrary) -> dict[int, int]:
     return {n.nid: lib.delay(n) for n in dfg.nodes}
 
 
+def _pred_map(dfg: DFG, edges: EdgeView, dmap: dict[int, int]
+              ) -> dict[int, list[tuple[int, int, int]]]:
+    """dst-id -> [(src-id, delay(src), dist)] — built once per search,
+    shared by every candidate II, order, and repair round."""
+    preds: dict[int, list[tuple[int, int, int]]] = \
+        {n.nid: [] for n in dfg.nodes}
+    for s, d, dist in edges:
+        preds[d.nid].append((s.nid, dmap[s.nid], dist))
+    return preds
+
+
 def _attempt(dfg: DFG, edges: EdgeView, lib: OperatorLibrary, ii: int,
              extra_lat: dict[int, int],
              order: Optional[list[DFGNode]] = None,
-             dmap: Optional[dict[int, int]] = None
+             dmap: Optional[dict[int, int]] = None,
+             preds: Optional[dict[int, list[tuple[int, int, int]]]] = None
              ) -> Optional[ModuloSchedule]:
     """One placement pass at a fixed II.
 
     ``order`` overrides the node placement order (default: topological
     order of the distance-0 subgraph).  Non-topological orders are legal:
     predecessors not yet placed are simply ignored here, and the repair
-    loop in the caller catches the resulting violations.
+    loop in the caller catches the resulting violations.  ``dmap`` and
+    ``preds`` let the II search share one delay map and predecessor map
+    across all candidate IIs and repair rounds.
     """
     dmap = dmap if dmap is not None else _delay_map(dfg, lib)
-    preds: dict[int, list[tuple[DFGNode, int]]] = {n.nid: [] for n in dfg.nodes}
-    for s, d, dist in edges:
-        preds[d.nid].append((s, dist))
+    if preds is None:
+        preds = _pred_map(dfg, edges, dmap)
 
     time: dict[int, int] = {}
     mrt: dict[int, int] = {}
+    mrt_get = mrt.get
+    time_get = time.get
+    ports = lib.mem_ports
+    length = 0
 
     for node in (order if order is not None else dfg.topo_order()):
-        t = extra_lat.get(node.nid, 0)
-        for src, dist in preds[node.nid]:
-            if src.nid in time:
-                t = max(t, time[src.nid] + dmap[src.nid] - ii * dist)
-        t = max(t, 0)
+        nid = node.nid
+        t = extra_lat.get(nid, 0)
+        for snid, sdly, dist in preds[nid]:
+            ts = time_get(snid)
+            if ts is not None:
+                ready = ts + sdly - ii * dist
+                if ready > t:
+                    t = ready
+        if t < 0:
+            t = 0
         if lib.uses_mem_port(node):
             # advance until `t mod II` lands on a row with a free port;
             # after II steps every row has been probed, so give up.
             for _ in range(ii):
                 row = t % ii
-                if mrt.get(row, 0) < lib.mem_ports:
+                if mrt_get(row, 0) < ports:
                     break
                 t += 1
             else:
                 return None
-            mrt[row] = mrt.get(row, 0) + 1
-        time[node.nid] = t
+            mrt[row] = mrt_get(row, 0) + 1
+        time[nid] = t
+        end = t + dmap[nid]
+        if end > length:
+            length = end
 
     sched = ModuloSchedule(ii=ii, time=time, rec_mii=0, res_mii=0, mrt=mrt)
-    sched.length = max((time[n.nid] + dmap[n.nid] for n in dfg.nodes),
-                       default=0)
+    sched.length = length
     return sched
 
 
@@ -106,45 +130,94 @@ def _violations(dfg: DFG, edges: EdgeView, lib: OperatorLibrary,
                 dmap: Optional[dict[int, int]] = None
                 ) -> list[tuple[DFGNode, DFGNode, int]]:
     dmap = dmap if dmap is not None else _delay_map(dfg, lib)
+    time = sched.time
+    ii = sched.ii
     out = []
     for s, d, dist in edges:
-        if sched.time[d.nid] + sched.ii * dist < \
-                sched.time[s.nid] + dmap[s.nid]:
+        if time[d.nid] + ii * dist < time[s.nid] + dmap[s.nid]:
             out.append((s, d, dist))
     return out
 
 
 def _search(dfg: DFG, lib: OperatorLibrary, edges: EdgeView,
             orders: list[Optional[list[DFGNode]]],
-            max_ii: Optional[int] = None) -> ModuloSchedule:
-    """The II search shared by every modulo strategy.
+            max_ii: Optional[int] = None,
+            flavor: Optional[str] = None) -> ModuloSchedule:
+    """The II search shared by every modulo strategy — incremental.
 
     For each candidate II (starting at ``max(RecMII, ResMII)``), each
     placement ``order`` (``None`` = topological) gets the full
     placement-and-repair budget before the II is abandoned.
+
+    Incrementality (all result-preserving):
+
+    * the delay map, predecessor map, and topological order are computed
+      once and shared by every candidate II, order, and repair round;
+    * when ``flavor`` names the strategy, the two-tier
+      :mod:`repro.hw.iimemo` is consulted: a hit supplies RecMII/ResMII
+      (pure functions of the inputs) and the set of *refuted* candidate
+      IIs from an earlier identical search, which are skipped — the
+      placement/repair machinery is deterministic, so replaying a
+      refuted candidate can only fail the same way.  The winning II is
+      still placed by the ordinary machinery, so the returned schedule
+      is bit-identical to a from-scratch search's.
     """
+    from repro.hw import iimemo
+
     dmap = _delay_map(dfg, lib)
-    rmii = rec_mii(dfg, lambda n: dmap[n.nid], edges)
-    smii = res_mii(dfg, lib)
+    sig = record = None
+    if flavor is not None:
+        sig = iimemo.search_signature(dfg, lib, edges, flavor, max_ii,
+                                      dmap=dmap)
+        record = iimemo.memo_get(sig)
+    if record is not None:
+        rmii, smii = record["rmii"], record["smii"]
+        refuted = set(record["refuted"])
+    else:
+        rmii = rec_mii(dfg, lambda n: dmap[n.nid], edges)
+        smii = res_mii(dfg, lib)
+        refuted = set()
     start_ii = max(rmii, smii)
     limit = max_ii or max(start_ii, sum(dmap.values())) + 1
 
+    preds = _pred_map(dfg, edges, dmap)
+    topo = dfg.topo_order()
+    tried: list[int] = []
     for ii in range(start_ii, limit + 1):
+        if ii in refuted:
+            tried.append(ii)
+            continue
         for order in orders:
             extra: dict[int, int] = {}
             for _ in range(8):  # a few repair rounds per II and order
-                sched = _attempt(dfg, edges, lib, ii, extra, order=order,
-                                 dmap=dmap)
+                sched = _attempt(dfg, edges, lib, ii, extra,
+                                 order=order if order is not None else topo,
+                                 dmap=dmap, preds=preds)
                 if sched is None:
                     break
                 bad = _violations(dfg, edges, lib, sched, dmap=dmap)
                 if not bad:
                     sched.rec_mii = rmii
                     sched.res_mii = smii
+                    if sig is not None and record is None:
+                        iimemo.memo_put(sig, {"rmii": rmii, "smii": smii,
+                                              "refuted": tried, "ii": ii})
                     return sched
+                grew = False
                 for s, d, dist in bad:
                     need = sched.time[s.nid] + dmap[s.nid] - ii * dist
-                    extra[d.nid] = max(extra.get(d.nid, 0), need)
+                    if need > extra.get(d.nid, 0):
+                        extra[d.nid] = need
+                        grew = True
+                if not grew:
+                    # the delay map reached a fixpoint: every further
+                    # round replays this exact placement and fails the
+                    # same way, so the remaining rounds are pure spin
+                    break
+        tried.append(ii)
+    if sig is not None and record is None:
+        iimemo.memo_put(sig, {"rmii": rmii, "smii": smii,
+                              "refuted": tried, "ii": None})
     raise ScheduleError(
         f"no modulo schedule found up to II={limit} "
         f"(RecMII={rmii}, ResMII={smii}"
@@ -160,4 +233,5 @@ def modulo_schedule(dfg: DFG, lib: OperatorLibrary,
     ``edges`` overrides the dependence-distance view (used for squash).
     """
     edges = edges if edges is not None else default_edge_view(dfg)
-    return _search(dfg, lib, edges, orders=[None], max_ii=max_ii)
+    return _search(dfg, lib, edges, orders=[None], max_ii=max_ii,
+                   flavor="modulo")

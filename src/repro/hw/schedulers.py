@@ -163,7 +163,8 @@ def backtracking_modulo_schedule(dfg: DFG, lib: OperatorLibrary,
     edges = edges if edges is not None else default_edge_view(dfg)
     orders: list[Optional[list[DFGNode]]] = [None]  # None = topo order
     orders += _slack_orders(dfg, edges, lib)
-    return _search(dfg, lib, edges, orders=orders, max_ii=max_ii)
+    return _search(dfg, lib, edges, orders=orders, max_ii=max_ii,
+                   flavor="backtrack")
 
 
 class BacktrackingModuloScheduler:

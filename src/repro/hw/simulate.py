@@ -50,16 +50,16 @@ def simulate_modulo(dfg: DFG, lib: OperatorLibrary, sched: ModuloSchedule,
     ports: dict[int, int] = {}
     violations: list[str] = []
 
+    mem_nodes = [n for n in dfg.nodes if lib.uses_mem_port(n)]
     for k in range(iterations):
         base = k * sched.ii
-        for n in dfg.nodes:
-            if lib.uses_mem_port(n):
-                t = base + sched.time[n.nid]
-                ports[t] = ports.get(t, 0) + 1
-                if ports[t] > lib.mem_ports:
-                    violations.append(
-                        f"cycle {t}: {ports[t]} memory refs > "
-                        f"{lib.mem_ports} ports")
+        for n in mem_nodes:
+            t = base + sched.time[n.nid]
+            ports[t] = ports.get(t, 0) + 1
+            if ports[t] > lib.mem_ports:
+                violations.append(
+                    f"cycle {t}: {ports[t]} memory refs > "
+                    f"{lib.mem_ports} ports")
     # Dependence check across overlapped iterations.  A modulo schedule
     # is periodic, so the start-time gap of an edge is the same for every
     # source iteration k; the replay window only needs to cover the
@@ -77,8 +77,9 @@ def simulate_modulo(dfg: DFG, lib: OperatorLibrary, sched: ModuloSchedule,
         in_flight = -(-sched.length // sched.ii)  # ceil: overlap depth
         window = min(iterations, max_dist + in_flight + 1)
         for s, d, dist in edges:
+            delay_s = lib.delay(s)  # k-invariant: hoisted out of the replay
             for k in range(window):
-                t_src = k * sched.ii + sched.time[s.nid] + lib.delay(s)
+                t_src = k * sched.ii + sched.time[s.nid] + delay_s
                 t_dst = (k + dist) * sched.ii + sched.time[d.nid]
                 if t_dst < t_src:
                     violations.append(
@@ -98,14 +99,14 @@ def simulate_sequential(dfg: DFG, lib: OperatorLibrary, sched: ListSchedule,
     """Replay the non-pipelined design: iterations run back to back."""
     ports: dict[int, int] = {}
     violations: list[str] = []
+    mem_nodes = [n for n in dfg.nodes if lib.uses_mem_port(n)]
     for k in range(iterations):
         base = k * sched.length
-        for n in dfg.nodes:
-            if lib.uses_mem_port(n):
-                t = base + sched.time[n.nid]
-                ports[t] = ports.get(t, 0) + 1
-                if ports[t] > lib.mem_ports:
-                    violations.append(f"cycle {t}: port oversubscription")
+        for n in mem_nodes:
+            t = base + sched.time[n.nid]
+            ports[t] = ports.get(t, 0) + 1
+            if ports[t] > lib.mem_ports:
+                violations.append(f"cycle {t}: port oversubscription")
     return SimulationResult(
         iterations=iterations, total_cycles=iterations * sched.length,
         port_peak=max(ports.values(), default=0),

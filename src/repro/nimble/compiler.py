@@ -35,9 +35,9 @@ from repro.ir.nodes import Program
 from repro.nimble.target import ACEV, Target
 from repro.pipeline import CompilationPipeline
 
-__all__ = ["VariantSet", "compile_query", "compile_variants",
-           "compile_original", "compile_pipelined", "compile_squash",
-           "compile_jam", "compile_jam_squash"]
+__all__ = ["VariantSet", "compile_query", "compile_query_batch",
+           "compile_variants", "compile_original", "compile_pipelined",
+           "compile_squash", "compile_jam", "compile_jam_squash"]
 
 
 @dataclass
@@ -151,6 +151,51 @@ def compile_query(query: "DesignQuery") -> "DesignPoint | SkipRecord":
         return SkipRecord(query, "legality", str(exc))
     except ScheduleError as exc:
         return SkipRecord(query, "schedule", str(exc))
+
+
+def _cache_counters() -> dict[str, int]:
+    """Snapshot of the shared-cache counters this process has seen."""
+    from repro.hw.iimemo import memo_stats
+    from repro.pipeline.analysis import analysis_cache
+    from repro.store import analysis_store, iisearch_store
+
+    ana = analysis_cache()
+    ii = memo_stats()
+    out = {"analysis_mem_hits": ana.hits, "analysis_mem_misses": ana.misses,
+           "iimemo_mem_hits": ii["mem_hits"],
+           "iimemo_mem_misses": ii["mem_misses"]}
+    for name, store in (("analysis", analysis_store()),
+                        ("iimemo", iisearch_store())):
+        for key, val in store.stats.as_dict().items():
+            out[f"{name}_disk_{key}"] = val
+    return out
+
+
+def compile_query_batch(queries: "Sequence[DesignQuery]") -> dict:
+    """Compile a batch of queries in one worker — the engine's dispatch
+    unit.
+
+    The engine groups queries by ``(kernel, variant)`` so one process
+    builds each kernel once and serves every target/factor/scheduler
+    crossing from its process-local caches (benchmark build, shared base
+    analysis, II-search memo).  Returns the per-query results plus the
+    batch's per-stage wall-time and cache-counter deltas, which the
+    engine aggregates into
+    :class:`repro.explore.engine.ExploreResult.stage_seconds` /
+    ``cache_counters`` (so ``repro bench`` sees worker-side hit rates).
+    """
+    from repro.pipeline.pipeline import _STAGE_TIMES
+
+    before_stages = dict(_STAGE_TIMES)
+    before_counters = _cache_counters()
+    results = [compile_query(q) for q in queries]
+    stages = {stage: seconds - before_stages.get(stage, 0.0)
+              for stage, seconds in _STAGE_TIMES.items()
+              if seconds - before_stages.get(stage, 0.0) > 0.0}
+    counters = {key: val - before_counters.get(key, 0)
+                for key, val in _cache_counters().items()
+                if val - before_counters.get(key, 0)}
+    return {"results": results, "stages": stages, "counters": counters}
 
 
 def compile_variants(program: Program, nest: Optional[LoopNest] = None,

@@ -10,7 +10,9 @@ pretty-printing.  ``ACEV`` is the evaluation target of Chapter 6
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
+from repro.caches import register_cache
 from repro.hw.ops import ACEV_LIBRARY, GARP_LIBRARY, OperatorLibrary
 
 __all__ = ["Target", "ACEV", "GARP", "decode_target", "target_by_name"]
@@ -77,6 +79,7 @@ def target_by_name(name: str) -> Target:
         raise KeyError(f"unknown target {name!r}; have {sorted(_TARGETS)}")
 
 
+@lru_cache(maxsize=256)
 def decode_target(spec: str) -> Target:
     """Decode a target spec string into a :class:`Target`.
 
@@ -112,3 +115,9 @@ def decode_target(spec: str) -> Target:
         else:
             raise KeyError(f"unknown target modifier {key!r}")
     return target
+
+
+# Specs are pure descriptions and Targets are treated as immutable, so
+# every query sharing one spec can share one decoded Target (stable
+# library identity in turn keeps the per-process memos small).
+register_cache(decode_target.cache_clear)

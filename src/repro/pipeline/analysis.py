@@ -1,4 +1,4 @@
-"""Shared per-kernel base analysis with a process-local cache.
+"""Shared per-kernel base analysis with a two-tier (memory + disk) cache.
 
 The expensive front half of :func:`repro.core.squash.analyze_nest` —
 legality liveness, program clone, three-address lowering, SSA renaming,
@@ -10,34 +10,51 @@ per (program, nest) and shares the result across all variants; only the
 genuinely per-variant steps (the DS legality check, stage assignment,
 register chains, the relaxed edge view) are recomputed.
 
-The cache is keyed by object identity and holds strong references to its
-(program, nest) keys, so an ``id`` can never be recycled by a different
-live program; a bounded LRU keeps memory flat.  Set
-``REPRO_ANALYSIS_CACHE=0`` to bypass sharing (the benchmark baseline),
-and :func:`repro.clear_caches` drops the cache between runs.
+Two tiers:
+
+* **memory** — a bounded identity-keyed LRU holding strong references to
+  its (program, nest) keys, so an ``id`` can never be recycled by a
+  different live program;
+* **disk** — a content-hash-keyed pickle store under
+  ``<cache dir>/analysis/<code_version>/`` (:mod:`repro.store`), so
+  ``ProcessPoolExecutor`` workers and repeated ``repro explore`` runs
+  share one front-end analysis per kernel nest instead of redoing it in
+  every process.  The key hashes the printed program (plus local types
+  and kernel annotations) and the nest's position, and the directory is
+  partitioned by :func:`~repro.explore.cache.code_version`, so edits to
+  any source invalidate stale artifacts automatically.
+
+The per-DS legality checks (:func:`repro.core.legality.check_squash`)
+ride the same two tiers — they are recomputed per (variant, target,
+scheduler) crossing otherwise.
+
+Set ``REPRO_ANALYSIS_CACHE=0`` to bypass sharing entirely (the benchmark
+ablation baseline), ``REPRO_ANALYSIS_CACHE=mem`` to keep the in-process
+tier only, and :func:`repro.clear_caches` drops both tiers between runs.
 """
 
 from __future__ import annotations
 
-import os
+import hashlib
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.analysis.loops import LoopNest
+from repro.analysis.loops import LoopNest, all_loops
 from repro.analysis.ssa import SSABlock
 from repro.caches import PinningLRU, register_cache
 from repro.core.dfg import DFG
-from repro.core.legality import SquashCheck, check_squash
+from repro.core.legality import PreparedSquash, SquashCheck, check_squash, \
+    classify_squash, prepare_squash
 from repro.core.stages import assign_stages, default_delay, register_chains
 from repro.core.squash import analyze_front, analyze_nest
+from repro.env import analysis_cache_mode
 from repro.hw.mii import squash_distances
 from repro.ir.nodes import Program
 from repro.pipeline.artifacts import AnalyzedDFG
+from repro.store import analysis_store
 
 __all__ = ["AnalysisCache", "BaseAnalysis", "analysis_cache",
-           "base_analyzed_dfg", "squash_analyzed_dfg"]
-
-_ENV_TOGGLE = "REPRO_ANALYSIS_CACHE"
+           "base_analyzed_dfg", "content_key", "squash_analyzed_dfg"]
 
 
 @dataclass
@@ -58,9 +75,11 @@ class BaseAnalysis:
     invariant: Optional[set[str]] = None
 
 
-def _build_base(program: Program, nest: LoopNest) -> BaseAnalysis:
+def _build_base(program: Program, nest: LoopNest,
+                check: Optional[SquashCheck] = None) -> BaseAnalysis:
     """analyze_nest's front half, without raising on legality failure."""
-    check = check_squash(program, nest, 1)
+    if check is None:
+        check = check_squash(program, nest, 1)
     if not check.ok:
         return BaseAnalysis(check1=check)
     live = check.liveness
@@ -71,16 +90,49 @@ def _build_base(program: Program, nest: LoopNest) -> BaseAnalysis:
                         dfg=dfg, carried=carried, invariant=invariant)
 
 
-class AnalysisCache:
-    """Bounded LRU of :class:`BaseAnalysis`, keyed by object identity.
+def content_key(program: Program, nest: LoopNest) -> Optional[str]:
+    """Stable cross-process identity of one (program, nest) pair.
 
-    A thin wrapper over :class:`repro.caches.PinningLRU`: entries pin
-    their (program, nest) keys alive, making the ``id``-based key
-    collision-free for the entry's lifetime.
+    Hashes the printed program (statements, declarations, types) plus
+    the data the printer omits — local scalar types and per-loop kernel
+    annotations — and the nest's pre-order position among the program's
+    loops.  Returns ``None`` when the nest is not part of the program
+    (then there is no meaningful shared identity to key on).
+    """
+    from repro.ir.printer import program_to_str
+
+    loops = all_loops(program)
+    outer_ix = inner_ix = None
+    for i, loop in enumerate(loops):
+        if loop is nest.outer:
+            outer_ix = i
+        if loop is nest.inner:
+            inner_ix = i
+    if outer_ix is None or inner_ix is None:
+        return None
+    h = hashlib.sha256()
+    h.update(program_to_str(program).encode())
+    h.update(repr(sorted((n, str(t)) for n, t in
+                         program.locals.items())).encode())
+    h.update(repr([bool(getattr(l, "kernel", False))
+                   for l in loops]).encode())
+    h.update(f"|nest:{outer_ix}:{inner_ix}".encode())
+    return h.hexdigest()[:32]
+
+
+class AnalysisCache:
+    """Two-tier cache of :class:`BaseAnalysis` and per-DS legality checks.
+
+    The memory tier is a :class:`repro.caches.PinningLRU` keyed by object
+    identity (entries pin their (program, nest) keys alive, making the
+    ``id``-based key collision-free for the entry's lifetime); the disk
+    tier is the content-addressed :func:`repro.store.analysis_store`.
     """
 
     def __init__(self, maxsize: int = 64):
         self._lru = PinningLRU(maxsize)
+        self._preps = PinningLRU(maxsize)
+        self._keys = PinningLRU(maxsize * 4)
 
     def __len__(self) -> int:
         return len(self._lru)
@@ -93,16 +145,67 @@ class AnalysisCache:
     def misses(self) -> int:
         return self._lru.misses
 
+    def _content_key(self, program: Program, nest: LoopNest
+                     ) -> Optional[str]:
+        key = (id(program), id(nest.outer), id(nest.inner))
+        memo = self._keys.get(key)
+        if memo is None:
+            memo = self._keys.put(key, (program, nest),
+                                  (content_key(program, nest),))
+        return memo[0]
+
+    def prep_for(self, program: Program, nest: LoopNest) -> PreparedSquash:
+        """The DS-independent legality analysis, through both tiers."""
+        key = (id(program), id(nest.outer), id(nest.inner))
+        prep = self._preps.get(key)
+        if prep is not None:
+            return prep
+        disk = analysis_store() if analysis_cache_mode() == "disk" else None
+        ckey = self._content_key(program, nest) if disk is not None else None
+        if ckey is not None:
+            prep = disk.get(f"prep-{ckey}")
+            if isinstance(prep, PreparedSquash):
+                return self._preps.put(key, (program, nest), prep)
+        prep = self._preps.put(key, (program, nest),
+                               prepare_squash(program, nest))
+        if ckey is not None:
+            disk.put(f"prep-{ckey}", prep)
+        return prep
+
     def get_or_build(self, program: Program, nest: LoopNest) -> BaseAnalysis:
         key = (id(program), id(nest.outer), id(nest.inner))
         base = self._lru.get(key)
-        if base is None:
-            base = self._lru.put(key, (program, nest),
-                                 _build_base(program, nest))
+        if base is not None:
+            return base
+        disk = analysis_store() if analysis_cache_mode() == "disk" else None
+        ckey = self._content_key(program, nest) if disk is not None else None
+        if ckey is not None:
+            base = disk.get(f"base-{ckey}")
+            if isinstance(base, BaseAnalysis):
+                return self._lru.put(key, (program, nest), base)
+        check1 = classify_squash(self.prep_for(program, nest), 1)
+        base = self._lru.put(key, (program, nest),
+                             _build_base(program, nest, check=check1))
+        if ckey is not None:
+            # the disk artifact drops the cloned work program: no cached
+            # consumer reads it (only ssa/dfg/carried/invariant/check1),
+            # and the DFG/SSA pickle already carries the 3AC statements
+            # they reference — the slim form loads 3-4x faster
+            import dataclasses
+            disk.put(f"base-{ckey}",
+                     dataclasses.replace(base, work=None, w_nest=None))
         return base
+
+    def check_for(self, program: Program, nest: LoopNest,
+                  ds: int) -> SquashCheck:
+        """The per-DS legality check: cached preparation + cheap
+        classification (identical to a from-scratch ``check_squash``)."""
+        return classify_squash(self.prep_for(program, nest), ds)
 
     def clear(self) -> None:
         self._lru.clear()
+        self._preps.clear()
+        self._keys.clear()
 
 
 #: The process-wide instance every CompilationPipeline shares by default.
@@ -115,7 +218,7 @@ def analysis_cache() -> AnalysisCache:
 
 
 def _sharing_enabled() -> bool:
-    return os.environ.get(_ENV_TOGGLE, "1") != "0"
+    return analysis_cache_mode() != "off"
 
 
 def _base(program: Program, nest: LoopNest,
@@ -123,6 +226,13 @@ def _base(program: Program, nest: LoopNest,
     if cache is not None and _sharing_enabled():
         return cache.get_or_build(program, nest)
     return _build_base(program, nest)
+
+
+def _check(program: Program, nest: LoopNest, ds: int,
+           cache: Optional[AnalysisCache]) -> SquashCheck:
+    if cache is not None and _sharing_enabled():
+        return cache.check_for(program, nest, ds)
+    return check_squash(program, nest, ds)
 
 
 def base_analyzed_dfg(program: Program, nest: LoopNest,
@@ -147,7 +257,7 @@ def squash_analyzed_dfg(program: Program, nest: LoopNest, ds: int,
     surface exactly as before), then layers stage assignment, register
     chains, and the stage-relaxed edge view over the shared base graph.
     """
-    check = check_squash(program, nest, ds)
+    check = _check(program, nest, ds, cache)
     check.raise_if_failed()
     base = _base(program, nest, cache)
     if base.dfg is None:

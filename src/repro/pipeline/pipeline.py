@@ -49,10 +49,39 @@ if TYPE_CHECKING:  # pipeline <-> nimble import cycle: Target only for types
     from repro.nimble.target import Target
 
 __all__ = ["CompilationPipeline", "PipelineRun", "VARIANT_PLANS",
-           "VariantPlan", "variant_label"]
+           "VariantPlan", "reset_stage_timings", "stage_timings",
+           "variant_label"]
 
 #: Iterations replayed by the validation stage.
 VALIDATE_ITERS = 6
+
+
+# ---------------------------------------------------------------------------
+# Stage timing (the `repro bench` per-stage breakdown)
+# ---------------------------------------------------------------------------
+
+#: Cumulative wall-clock seconds per stage in this process.  Two cheap
+#: ``perf_counter`` calls per stage; workers ship their deltas back to
+#: the exploration engine with each result batch.
+_STAGE_TIMES: dict[str, float] = {}
+_STAGE_COUNTS: dict[str, int] = {}
+
+
+def _record_stage(stage: str, seconds: float) -> None:
+    _STAGE_TIMES[stage] = _STAGE_TIMES.get(stage, 0.0) + seconds
+    _STAGE_COUNTS[stage] = _STAGE_COUNTS.get(stage, 0) + 1
+
+
+def stage_timings() -> dict[str, dict[str, float]]:
+    """Snapshot of cumulative per-stage wall time/call counts."""
+    return {stage: {"seconds": _STAGE_TIMES[stage],
+                    "calls": _STAGE_COUNTS.get(stage, 0)}
+            for stage in _STAGE_TIMES}
+
+
+def reset_stage_timings() -> None:
+    _STAGE_TIMES.clear()
+    _STAGE_COUNTS.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -68,20 +97,34 @@ def _trips(nest: LoopNest) -> tuple[int, int]:
 #: variants of a sweep — and every scheduler/target axis crossing them —
 #: reuse one jammed program.  Stable object identity in turn lets the
 #: shared analysis cache hit for the jammed nest's base analysis too.
+#: A second, content-keyed tier in the persistent artifact store shares
+#: the transform across worker processes and runs.
 _JAM_MEMO = PinningLRU(maxsize=128)
 register_cache(_JAM_MEMO.clear)
 
 
 def _memoized_jam(program: Program, nest: LoopNest, factor: int) -> Program:
+    from repro.env import analysis_cache_mode
+    from repro.pipeline.analysis import content_key
+    from repro.store import analysis_store
     from repro.transforms.unroll_and_jam import unroll_and_jam
 
     if not _sharing_enabled():
         return unroll_and_jam(program, nest, factor)
     key = (id(program), id(nest.outer), id(nest.inner), factor)
     jammed = _JAM_MEMO.get(key)
-    if jammed is None:
-        jammed = _JAM_MEMO.put(key, (program, nest),
-                               unroll_and_jam(program, nest, factor))
+    if jammed is not None:
+        return jammed
+    disk = analysis_store() if analysis_cache_mode() == "disk" else None
+    ckey = content_key(program, nest) if disk is not None else None
+    if ckey is not None:
+        jammed = disk.get(f"jam-{ckey}-f{factor}")
+        if isinstance(jammed, Program):
+            return _JAM_MEMO.put(key, (program, nest), jammed)
+    jammed = _JAM_MEMO.put(key, (program, nest),
+                           unroll_and_jam(program, nest, factor))
+    if ckey is not None:
+        disk.put(f"jam-{ckey}-f{factor}", jammed)
     return jammed
 
 
@@ -305,13 +348,28 @@ class CompilationPipeline:
         except KeyError:
             raise ValueError(f"unknown variant {variant!r}; "
                              f"have {tuple(VARIANT_PLANS)}")
+        from time import perf_counter
+
         built = BuiltKernel(program=program, nest=nest)
+        stage = "transform"
+        t0 = perf_counter()
         try:
             transformed = plan.transform(built, ds, jam, variant)
+            t1 = perf_counter()
+            _record_stage("transform", t1 - t0)
+            stage, t0 = "analyze", t1
             analyzed = plan.analyze(transformed, self.target, self.cache)
+            t1 = perf_counter()
+            _record_stage("analyze", t1 - t0)
+            stage, t0 = "schedule", t1
             scheduled = self._schedule(plan, analyzed)
+            t1 = perf_counter()
+            _record_stage("schedule", t1 - t0)
+            stage, t0 = "validate", t1
             validated = self._validate(plan, scheduled)
+            _record_stage("validate", perf_counter() - t0)
         except (LegalityError, ScheduleError) as exc:
+            _record_stage(stage, perf_counter() - t0)
             raise self._with_provenance(exc, built, variant, ds, jam) from exc
         point = self._report(built, transformed, scheduled, base_ii)
         return PipelineRun(built=built, transformed=transformed,

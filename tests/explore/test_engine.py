@@ -114,6 +114,60 @@ class TestAgainstSerialPath:
             assert by_label[point.label] == point
 
 
+class TestBatching:
+    """Dispatch groups by (kernel, variant) in first-seen order."""
+
+    def test_batches_group_by_kernel_variant(self):
+        from repro.explore.engine import _batched
+        qs = [DesignQuery("iir", "squash", ds=2),
+              DesignQuery("iir", "jam", ds=2),
+              DesignQuery("iir", "squash", ds=4),
+              DesignQuery("des-mem", "squash", ds=2)]
+        assert _batched(qs) == [[0, 2], [1], [3]]
+
+    def test_large_groups_split_to_honour_jobs(self):
+        from repro.explore.engine import _batched
+        qs = [DesignQuery("iir", "squash", ds=f)
+              for f in (2, 4, 8, 16, 32, 64)]
+        assert _batched(qs) == [[0, 1, 2, 3, 4, 5]]
+        assert _batched(qs, jobs=3) == [[0, 1], [2, 3], [4, 5]]
+        assert _batched(qs, jobs=100) == [[i] for i in range(6)]
+
+    def test_single_kernel_factor_sweep_parallel_matches_serial(self):
+        space = DesignSpace(kernels=("iir",), variants=("squash",),
+                            factors=(2, 4, 8))
+        ser = evaluate(space.enumerate(), jobs=1)
+        par = evaluate(space.enumerate(), jobs=3)
+        assert par.results == ser.results
+
+    def test_batch_payload_shape(self):
+        from repro.nimble.compiler import compile_query_batch
+        payload = compile_query_batch([DesignQuery("iir", "original"),
+                                       DesignQuery("iir", "pipelined")])
+        assert set(payload) == {"results", "stages", "counters"}
+        assert len(payload["results"]) == 2
+        assert all(isinstance(r, DesignPoint) for r in payload["results"])
+
+    def test_stage_seconds_cover_fresh_compiles_only(self, tmp_path):
+        qs = FAST.enumerate()
+        cold = evaluate(qs, jobs=1, cache=ResultCache(tmp_path))
+        assert set(cold.stage_seconds) <= \
+            {"transform", "analyze", "schedule", "validate"}
+        assert sum(cold.stage_seconds.values()) > 0
+        warm = evaluate(qs, jobs=1, cache=ResultCache(tmp_path))
+        assert warm.stage_seconds == {}  # all hits: no worker time
+
+    def test_batched_parallel_matches_serial_with_mixed_cache(self,
+                                                             tmp_path):
+        # half the space pre-cached: the batch layer must stitch cached
+        # and fresh results back into query order
+        qs = FAST.enumerate()
+        evaluate(qs[::2], jobs=1, cache=ResultCache(tmp_path))
+        mixed = evaluate(qs, jobs=2, cache=ResultCache(tmp_path))
+        serial = evaluate(qs, jobs=1)
+        assert mixed.results == serial.results
+
+
 class TestLabels:
     def test_jam_squash_point_label_unambiguous(self):
         # factor alone is ambiguous: jam(4)+squash(2) and jam(2)+squash(4)

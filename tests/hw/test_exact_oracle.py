@@ -160,6 +160,89 @@ class TestOracleReplay:
         assert sim.ok, sim.violations[:3]
 
 
+class TestIncrementalSearchParity:
+    """The incremental II search (shared preds/topo, memoized RecMII,
+    skipped refuted candidates, reused exact certificates) must be
+    observationally identical to the from-scratch search — same IIs,
+    same start times, same certificates — across the whole oracle
+    space and on direct scheduler calls."""
+
+    def test_whole_suite_matches_from_scratch(self, monkeypatch):
+        space = _oracle_space(factors=(2, 4))
+        monkeypatch.setenv("REPRO_ANALYSIS_CACHE", "1")  # two-tier on
+        incremental = evaluate(space.enumerate(), jobs=1)
+        replay = evaluate(space.enumerate(), jobs=1)  # memo-warm replay
+        monkeypatch.setenv("REPRO_ANALYSIS_CACHE", "0")  # memo fully off
+        scratch = evaluate(space.enumerate(), jobs=1)
+        assert incremental.results == scratch.results
+        assert replay.results == scratch.results
+
+    @pytest.mark.parametrize("kernel", ["iir", "des-mem"])
+    @pytest.mark.parametrize("ds", [1, 2])
+    def test_memo_replay_bit_identical_schedules(self, monkeypatch,
+                                                 kernel, ds):
+        from repro.hw import iimemo
+
+        bm = next(b for b in table_6_1_benchmarks() if b.name == kernel)
+        prog = bm.build(**bm.eval_kwargs)
+        nest = find_loop_nests(prog)[0]
+        _, _, _, dfg, sa, _ = analyze_nest(prog, nest, ds,
+                                           delay_fn=ACEV_LIBRARY.delay)
+        edges = squash_distances(dfg, sa) if ds > 1 else None
+
+        monkeypatch.setenv("REPRO_ANALYSIS_CACHE", "0")
+        scratch = {
+            "modulo": modulo_schedule(dfg, ACEV_LIBRARY, edges=edges),
+            "backtrack": backtracking_modulo_schedule(dfg, ACEV_LIBRARY,
+                                                      edges=edges),
+            "exact": exact_modulo_schedule(dfg, ACEV_LIBRARY, edges=edges),
+        }
+
+        monkeypatch.setenv("REPRO_ANALYSIS_CACHE", "mem")
+        iimemo._MEMO.clear()
+        for attempt in ("populate", "replay"):
+            replay = {
+                "modulo": modulo_schedule(dfg, ACEV_LIBRARY, edges=edges),
+                "backtrack": backtracking_modulo_schedule(
+                    dfg, ACEV_LIBRARY, edges=edges),
+                "exact": exact_modulo_schedule(dfg, ACEV_LIBRARY,
+                                               edges=edges),
+            }
+            for name, sched in replay.items():
+                want = scratch[name]
+                assert sched.ii == want.ii, (attempt, name)
+                assert sched.time == want.time, (attempt, name)
+                assert (sched.rec_mii, sched.res_mii) == \
+                    (want.rec_mii, want.res_mii), (attempt, name)
+                assert sched.length == want.length, (attempt, name)
+            assert replay["exact"].certified == scratch["exact"].certified
+            assert replay["exact"].failed == scratch["exact"].failed
+        # the replay round must actually have used the memo
+        assert iimemo._MEMO.hits > 0
+
+    def test_memo_replays_schedule_failure_identically(self, monkeypatch):
+        from repro.errors import ScheduleError
+        from repro.hw import iimemo
+
+        # cap the II search below des-mem's feasible range: the search
+        # fails, and the failure (message included) must replay
+        # identically through the memo
+        bm = next(b for b in table_6_1_benchmarks() if b.name == "des-mem")
+        prog = bm.build(**bm.eval_kwargs)
+        nest = find_loop_nests(prog)[0]
+        _, _, _, dfg, _, _ = analyze_nest(prog, nest, 1,
+                                          delay_fn=ACEV_LIBRARY.delay)
+
+        monkeypatch.setenv("REPRO_ANALYSIS_CACHE", "mem")
+        iimemo._MEMO.clear()
+        with pytest.raises(ScheduleError) as cold:
+            modulo_schedule(dfg, ACEV_LIBRARY, max_ii=3)
+        with pytest.raises(ScheduleError) as warm:
+            modulo_schedule(dfg, ACEV_LIBRARY, max_ii=3)
+        assert str(cold.value) == str(warm.value)
+        assert iimemo._MEMO.hits > 0
+
+
 @pytest.mark.slow
 class TestExhaustiveOracle:
     """The full design space, including jam+squash and all factors —

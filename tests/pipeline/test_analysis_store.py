@@ -1,0 +1,121 @@
+"""The two-tier analysis cache: LRU bounds, disk round-trips, and the
+content keys that make cross-process sharing sound."""
+
+import pytest
+
+from repro.analysis.loops import find_loop_nests
+from repro.caches import PinningLRU
+from repro.core.legality import PreparedSquash
+from repro.pipeline.analysis import (
+    AnalysisCache, BaseAnalysis, content_key,
+)
+from tests.conftest import build_fig21, build_fig41
+
+
+def _nest(prog):
+    return find_loop_nests(prog)[0]
+
+
+class TestLRUEviction:
+    def test_maxsize_actually_bounds_entries(self):
+        """The satellite guarantee: ``maxsize`` bounds memory."""
+        cache = AnalysisCache(maxsize=3)
+        programs = [build_fig41(m=6 + i) for i in range(8)]
+        for prog in programs:
+            cache.get_or_build(prog, _nest(prog))
+        assert len(cache) <= 3
+
+    def test_eviction_is_lru_ordered(self):
+        cache = AnalysisCache(maxsize=2)
+        p1, p2, p3 = (build_fig41(m=6 + i) for i in range(3))
+        cache.get_or_build(p1, _nest(p1))
+        cache.get_or_build(p2, _nest(p2))
+        cache.get_or_build(p1, _nest(p1))   # refresh p1
+        cache.get_or_build(p3, _nest(p3))   # evicts p2, not p1
+        hits = cache.hits
+        cache.get_or_build(p1, _nest(p1))
+        assert cache.hits == hits + 1  # p1 survived
+
+    def test_pinning_lru_bound_under_churn(self):
+        lru = PinningLRU(maxsize=4)
+        for i in range(100):
+            lru.put(i, (), i * 2)
+            assert len(lru) <= 4
+        assert lru.get(99) == 198
+        assert lru.get(0) is None
+
+
+class TestDiskTier:
+    def test_fresh_cache_hits_disk_not_rebuild(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.store import analysis_store
+        prog = build_fig21()
+        nest = _nest(prog)
+        AnalysisCache().get_or_build(prog, nest)
+        before = analysis_store().stats.hits
+        # a different AnalysisCache (fresh process stand-in), same content
+        clone = build_fig21()
+        base = AnalysisCache().get_or_build(clone, _nest(clone))
+        assert analysis_store().stats.hits > before
+        assert isinstance(base, BaseAnalysis)
+        assert base.dfg is not None
+
+    def test_mem_mode_skips_disk(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_ANALYSIS_CACHE", "mem")
+        from repro.store import analysis_store
+        prog = build_fig21()
+        AnalysisCache().get_or_build(prog, _nest(prog))
+        assert len(analysis_store()) == 0
+
+    def test_prepared_check_round_trips(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        prog = build_fig21()
+        nest = _nest(prog)
+        first = AnalysisCache()
+        prep = first.prep_for(prog, nest)
+        assert isinstance(prep, PreparedSquash)
+        clone = build_fig21()
+        second = AnalysisCache()
+        loaded = second.prep_for(clone, _nest(clone))
+        for ds in (1, 2, 4):
+            a = first.check_for(prog, nest, ds)
+            b = second.check_for(clone, _nest(clone), ds)
+            assert (a.ok, a.reasons) == (b.ok, b.reasons)
+            assert a.outer_trip == b.outer_trip
+        assert loaded.base_failures == prep.base_failures
+
+
+class TestContentKey:
+    def test_same_content_same_key_across_builds(self):
+        p1, p2 = build_fig41(), build_fig41()
+        assert content_key(p1, _nest(p1)) == content_key(p2, _nest(p2))
+
+    def test_different_programs_differ(self):
+        p1, p2 = build_fig41(m=8), build_fig41(m=9)
+        assert content_key(p1, _nest(p1)) != content_key(p2, _nest(p2))
+
+    def test_foreign_nest_has_no_key(self):
+        p1, p2 = build_fig41(), build_fig21()
+        assert content_key(p1, _nest(p2)) is None
+
+
+class TestCheckEquivalence:
+    """classify(prepare(...)) must equal the monolithic check everywhere,
+    including on designs the compiler rejects."""
+
+    @pytest.mark.parametrize("ds", [1, 2, 4, 8])
+    def test_wavelet_rejection_reasons_identical(self, ds):
+        from repro.core.legality import (
+            check_squash, classify_squash, prepare_squash,
+        )
+        from repro.workloads import benchmark_by_name
+        bm = benchmark_by_name("wavelet")
+        prog = bm.build(**bm.eval_kwargs)
+        nest = find_loop_nests(prog)[0]
+        mono = check_squash(prog, nest, ds)
+        split = classify_squash(prepare_squash(prog, nest), ds)
+        assert mono.ok == split.ok
+        assert mono.reasons == split.reasons
+        assert (mono.outer_trip, mono.inner_trip) == \
+            (split.outer_trip, split.inner_trip)

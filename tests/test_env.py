@@ -1,0 +1,108 @@
+"""Validated environment knobs: clear errors instead of raw tracebacks,
+and the worker-count scaling rules."""
+
+import pytest
+
+from repro.env import analysis_cache_mode, env_int
+from repro.errors import ReproError
+from repro.explore.engine import (
+    _MAX_DEFAULT_JOBS, _MAX_SCALED_JOBS, default_jobs,
+)
+
+
+class TestEnvInt:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_KNOB", raising=False)
+        assert env_int("REPRO_TEST_KNOB", 7) == 7
+
+    def test_empty_returns_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "  ")
+        assert env_int("REPRO_TEST_KNOB", 7) == 7
+
+    def test_valid_value_parses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "42")
+        assert env_int("REPRO_TEST_KNOB", 7) == 42
+
+    def test_non_integer_raises_repro_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "eight")
+        with pytest.raises(ReproError, match="REPRO_TEST_KNOB.*integer"):
+            env_int("REPRO_TEST_KNOB", 7)
+
+    def test_below_minimum_raises_repro_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "-3")
+        with pytest.raises(ReproError, match="minimum is 1"):
+            env_int("REPRO_TEST_KNOB", 7, minimum=1)
+
+
+class TestKnobValidation:
+    def test_repro_jobs_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "fast")
+        with pytest.raises(ReproError, match="REPRO_JOBS"):
+            default_jobs()
+
+    def test_repro_jobs_rejects_zero(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        with pytest.raises(ReproError, match="REPRO_JOBS"):
+            default_jobs()
+
+    def test_repro_jobs_valid_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+        assert default_jobs(n_tasks=100000) == 3  # env beats scaling
+
+    def test_exact_budget_rejects_garbage(self, monkeypatch):
+        from repro.hw.exact import _env_int
+        monkeypatch.setenv("REPRO_EXACT_BUDGET", "lots")
+        with pytest.raises(ReproError, match="REPRO_EXACT_BUDGET"):
+            _env_int("REPRO_EXACT_BUDGET", 1)
+
+    def test_exact_node_limit_rejects_negative(self, monkeypatch):
+        from repro.hw.exact import _env_int
+        monkeypatch.setenv("REPRO_EXACT_NODE_LIMIT", "-1")
+        with pytest.raises(ReproError, match="REPRO_EXACT_NODE_LIMIT"):
+            _env_int("REPRO_EXACT_NODE_LIMIT", 1)
+
+    def test_exact_scheduler_surfaces_the_error(self, monkeypatch):
+        from repro.hw.exact import exact_modulo_schedule
+        from repro.hw.ops import ACEV_LIBRARY
+        from repro.analysis import find_loop_nests
+        from repro.core import analyze_nest
+        from tests.conftest import build_fig21
+        monkeypatch.setenv("REPRO_EXACT_BUDGET", "many")
+        prog = build_fig21()
+        nest = find_loop_nests(prog)[0]
+        _, _, _, dfg, _, _ = analyze_nest(prog, nest, 1)
+        with pytest.raises(ReproError, match="REPRO_EXACT_BUDGET"):
+            exact_modulo_schedule(dfg, ACEV_LIBRARY)
+
+
+class TestJobScaling:
+    def test_small_sweeps_keep_the_cap(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.setattr("os.sched_getaffinity",
+                            lambda _: set(range(64)), raising=False)
+        assert default_jobs() == _MAX_DEFAULT_JOBS
+        assert default_jobs(n_tasks=8) == _MAX_DEFAULT_JOBS
+
+    def test_large_sweeps_scale_past_the_cap(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.setattr("os.sched_getaffinity",
+                            lambda _: set(range(64)), raising=False)
+        assert default_jobs(n_tasks=100) == 25
+        assert default_jobs(n_tasks=100000) == _MAX_SCALED_JOBS
+
+    def test_never_exceeds_cores(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.setattr("os.sched_getaffinity",
+                            lambda _: {0, 1}, raising=False)
+        assert default_jobs(n_tasks=100000) == 2
+
+
+class TestAnalysisCacheMode:
+    @pytest.mark.parametrize("raw,mode", [
+        ("0", "off"), ("mem", "mem"), ("1", "disk"), ("", "disk"),
+        ("MEM", "mem"), ("yes", "disk"),
+    ])
+    def test_modes(self, monkeypatch, raw, mode):
+        monkeypatch.setenv("REPRO_ANALYSIS_CACHE", raw)
+        assert analysis_cache_mode() == mode
