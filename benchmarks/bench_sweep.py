@@ -1,12 +1,15 @@
-"""The standardized sweep benchmark: cold / warm / warm-recompile phases
-of the full Table 6.2 + 6.3 design space, recorded to ``BENCH_4.json``.
+"""The standardized sweep benchmark: cold / warm / warm-recompile /
+vliw-retarget phases of the full Table 6.2 + 6.3 design space, recorded
+to ``BENCH_5.json``.
 
 Wraps :func:`repro.harness.bench.run_sweep_bench` — the same engine
 behind ``repro bench`` — so the perf trajectory the CLI, CI bench-smoke
 job, and this pytest-benchmark harness report is one number, not three.
-The JSON lands at the repository root (``BENCH_4.json``) where every
+The JSON lands at the repository root (``BENCH_5.json``) where every
 future PR can diff it, and the rendered summary joins the other
-artifacts under ``results/``.
+artifacts under ``results/``.  The ``vliw_retarget`` phase times the
+same kernels on the ``vliw4`` backend against warm front-end caches —
+the marginal cost of a second machine model.
 """
 
 import json
@@ -38,7 +41,8 @@ def test_sweep_bench(once, artifact):
                   jobs=PR3_BASELINE["cold_jobs"], baseline=PR3_BASELINE)
     assert record["phases"]["warm_result"]["result_cache"]["hit_rate"] == 1.0
     assert record["queries"] == 50
+    assert "vliw_retarget" in record["phases"]
 
-    (REPO_ROOT / "BENCH_4.json").write_text(
+    (REPO_ROOT / "BENCH_5.json").write_text(
         json.dumps(record, indent=2, sort_keys=True) + "\n")
     artifact("sweep_bench", format_bench(record))

@@ -7,8 +7,10 @@ Layered public API:
 * :mod:`repro.analysis` — liveness, induction variables, dependence tests;
 * :mod:`repro.transforms` — classical loop transforms incl. unroll-and-jam;
 * :mod:`repro.core` — the unroll-and-squash transformation;
-* :mod:`repro.hw` — operator library, scheduler registry, area/register
-  model;
+* :mod:`repro.hw` — operator library with a generalized resource model,
+  scheduler registry, area/register model;
+* :mod:`repro.vliw` — the VLIW backend: machine descriptions,
+  register-pressure accounting, cycle-accurate value-level replay;
 * :mod:`repro.pipeline` — the staged compilation pipeline (typed stage
   artifacts, declarative variant plans, shared base analysis);
 * :mod:`repro.nimble` — Nimble-Compiler-style driver (profiling, kernels,

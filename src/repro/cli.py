@@ -149,7 +149,8 @@ def _cmd_bench(args) -> int:
         baseline = json.loads(pathlib.Path(args.baseline).read_text())
     record = run_sweep_bench(factors=factors, target_spec=args.target,
                              jobs=args.jobs, scheduler=args.scheduler,
-                             baseline=baseline)
+                             baseline=baseline,
+                             vliw_spec=args.vliw_target or None)
     print(format_bench(record))
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
@@ -227,7 +228,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: all)")
     t.add_argument("--factors", type=int, nargs="+", default=[2, 4, 8, 16])
     t.add_argument("--target", default="acev",
-                   help="acev | garp | acev::ports=N | acev::reg_rows=X")
+                   help="acev | garp | vliw4 | acev::ports=N | "
+                        "acev::reg_rows=X | vliw4::mul=2,regs=128")
     t.add_argument("--out", help="write artifacts to this directory")
     t.add_argument("--jobs", type=int, default=None,
                    help="parallel sweep workers (default: cores, capped)")
@@ -250,8 +252,10 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--jam-factors", type=int, nargs="+", default=[2],
                    help="J factors for the combined jam+squash variant")
     e.add_argument("--target", action="append", default=None,
-                   help="target spec (repeatable): acev | garp | "
-                        "acev::ports=N,reg_rows=X,clock=MHz,delay.op=N")
+                   help="target spec (repeatable): acev | garp | vliw4 | "
+                        "acev::ports=N,reg_rows=X,clock=MHz,delay.op=N | "
+                        "vliw4::issue=W,alu=N,mul=N,mem=N,regs=R,"
+                        "rotating=0|1")
     e.add_argument("--scheduler", action="append", default=None,
                    help="scheduling strategy for pipelined variants "
                         "(repeatable; e.g. modulo, backtrack, exact; "
@@ -284,8 +288,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="strategy for pipelined variants (default: target's)")
     b.add_argument("--jobs", type=int, default=None,
                    help="workers per phase (default: scaled to the sweep)")
-    b.add_argument("--out", default="BENCH_4.json",
+    b.add_argument("--out", default="BENCH_5.json",
                    help="where to write the JSON record")
+    b.add_argument("--vliw-target", default="vliw4",
+                   help="second-backend retarget phase spec "
+                        "('' disables it)")
     b.add_argument("--baseline",
                    help="baseline JSON ({cold_wall_s, ...}) for speedups")
     b.set_defaults(fn=_cmd_bench)

@@ -49,6 +49,9 @@ def format_pareto(result: ExploreResult) -> str:
     exact scheduler's certified II (or the RecMII/ResMII bound when the
     heuristic already meets it); ``-`` means the optimum is unknown for
     that design — run the sweep with ``--scheduler exact`` to pin it.
+    On register-file targets (:mod:`repro.vliw`) a ``live`` column adds
+    the schedule's MaxLive against the file capacity; spatial-target
+    reports keep their historical layout.
     """
     result.attach_base_ii()
     result.attach_exact_ii()
@@ -61,17 +64,27 @@ def format_pareto(result: ExploreResult) -> str:
         all_pts = [r for q, r in result.pairs()
                    if isinstance(r, DesignPoint)
                    and (q.kernel, q.target_spec) == key]
+        # per group, not per run: in a mixed acev+vliw sweep the
+        # spatial groups keep their historical (diffable) layout
+        has_live = any(p.max_live is not None for p in all_pts)
         base = bases.get(key)
         rows = []
         for q, p in sorted(pairs, key=lambda qp: (qp[1].ii,
                                                   qp[1].area_rows)):
             speedup = (f"{normalize(base, p).speedup:.2f}"
                        if base is not None else "-")
-            rows.append([q.label, p.ii, _gap_cell(p), round(p.area_rows),
-                         p.registers, speedup])
+            row = [q.label, p.ii, _gap_cell(p), round(p.area_rows),
+                   p.registers]
+            if has_live:
+                row.append("-" if p.max_live is None
+                           else f"{p.max_live}/{p.reg_capacity}")
+            rows.append(row + [speedup])
         dominated = len(all_pts) - len(pairs)
+        headers = ["design", "II", "gap", "area", "regs"]
+        if has_live:
+            headers.append("live")
         blocks.append(render_table(
-            ["design", "II", "gap", "area", "regs", "speedup"], rows,
+            headers + ["speedup"], rows,
             title=f"{_group_title(key)} — Pareto frontier "
                   f"({len(pairs)} of {len(all_pts)} designs; "
                   f"{dominated} dominated)"))

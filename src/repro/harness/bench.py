@@ -13,7 +13,12 @@ wall-clock trajectory to regress against:
   cleared, but the on-disk artifact stores (base analyses, prepared
   legality, jammed programs, II-search certificates) kept: the cost a
   *new worker process* pays in an ongoing sweep, which PR 3 paid at
-  full cold price.
+  full cold price;
+* **vliw_retarget** — the same kernels swept again on the ``vliw4``
+  backend with warm front-end caches: the *marginal* cost of pointing
+  an analyzed suite at a second machine model (schedule search +
+  register-pressure II bumps only — the base analysis is
+  target-independent and shared).
 
 Each phase records wall-clock, result-cache counters, per-stage wall
 time (shipped back from the workers with every batch), and the shared
@@ -32,7 +37,8 @@ from typing import Optional, Sequence
 __all__ = ["format_bench", "run_sweep_bench"]
 
 #: Schema marker so future PRs can evolve the record without guessing.
-SCHEMA = 1
+#: 2 = added the ``vliw_retarget`` phase and its ``vliw_target`` field.
+SCHEMA = 2
 
 
 def _golden_dir() -> pathlib.Path:
@@ -63,8 +69,14 @@ def run_sweep_bench(factors: Sequence[int] = (2, 4, 8, 16),
                     jobs: Optional[int] = None,
                     scheduler: str = "",
                     baseline: Optional[dict] = None,
-                    golden_dir: "pathlib.Path | str | None" = None) -> dict:
-    """Run the three-phase sweep benchmark; returns the JSON record."""
+                    golden_dir: "pathlib.Path | str | None" = None,
+                    vliw_spec: Optional[str] = "vliw4") -> dict:
+    """Run the sweep benchmark phases; returns the JSON record.
+
+    ``vliw_spec`` selects the second-backend retarget phase (``None``
+    disables it; it is also skipped when ``target_spec`` already names
+    that backend).
+    """
     import os
 
     from repro.caches import clear_caches
@@ -94,17 +106,31 @@ def run_sweep_bench(factors: Sequence[int] = (2, 4, 8, 16),
         raise RuntimeError("warm recompile produced different results "
                            "than the cold sweep — cache corruption")
 
+    phases = {"cold": cold, "warm_result": warm_result,
+              "warm_recompile": warm_recompile}
+    if vliw_spec and not target_spec.startswith(vliw_spec.split("::")[0]):
+        # second backend, warm front-end: the result cache misses (the
+        # target participates in the query hash) but the shared base
+        # analyses/jam transforms hit, so this isolates the per-backend
+        # schedule-search + register-pressure cost
+        vliw_space = table_sweep_space(kernels, tuple(factors), vliw_spec,
+                                       scheduler)
+        phases["vliw_retarget"], vliw_result = _phase(
+            vliw_space.enumerate(), jobs)
+        phases["vliw_retarget"]["skipped_designs"] = \
+            len(vliw_result.skips())
+
     record = {
         "bench": "table_6_2_6_3_sweep",
         "schema": SCHEMA,
         "factors": list(factors),
         "target": target_spec,
+        "vliw_target": vliw_spec,
         "scheduler": scheduler,
         "queries": len(queries),
         "jobs": jobs,
         "cores": os.cpu_count(),
-        "phases": {"cold": cold, "warm_result": warm_result,
-                   "warm_recompile": warm_recompile},
+        "phases": phases,
     }
 
     # --- golden drift guard (byte-level, never timing) -----------------
@@ -172,7 +198,9 @@ def format_bench(record: dict) -> str:
                            for k, v in phase["stages_s"].items())
         lines.append(f"  {name:<15} {phase['wall_s']:7.3f}s  "
                      f"result-cache {rc['hit_rate']:.0%} hit"
-                     + (f"  [{stages}]" if stages else ""))
+                     + (f"  [{stages}]" if stages else "")
+                     + (f"  ({phase['skipped_designs']} designs rejected)"
+                        if phase.get("skipped_designs") else ""))
     golden = record.get("golden", {})
     if golden.get("checked"):
         lines.append("  golden tables:  "

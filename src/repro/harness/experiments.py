@@ -110,10 +110,25 @@ def _sweep(factors: tuple[int, ...], target_spec: str,
     kernels = [bm.name for bm in table_6_1_benchmarks()]
     space = table_sweep_space(kernels, factors, target_spec, scheduler)
     result = evaluate(space.enumerate(), jobs=jobs, cache=ResultCache())
-    for skip in result.skips():  # pragma: no cover - defensive
-        raise RuntimeError(
-            f"table sweep design {skip.query.label!r} on "
-            f"{skip.query.kernel!r} failed in {skip.phase}: {skip.reason}")
+    # On register-file targets (vliw4) deep squash/jam factors
+    # legitimately overflow the file — those rejections stay in the
+    # sweep as SkipRecords and render as '-' cells, because that *is*
+    # the Table 6.2 story for such machines (the baseline
+    # original/pipelined designs must still exist for the row group to
+    # mean anything).  Spatial targets keep the fail-loud invariant: a
+    # skip there is a regression, not a finding.
+    register_file = getattr(decode_target(target_spec).library,
+                            "register_file", None)
+    for skip in result.skips():
+        pressure_reject = (register_file is not None
+                           and skip.phase == "schedule"
+                           and "register pressure" in skip.reason)
+        if not pressure_reject or \
+                skip.query.variant in ("original", "pipelined"):
+            raise RuntimeError(
+                f"table sweep design {skip.query.label!r} on "
+                f"{skip.query.kernel!r} failed in {skip.phase}: "
+                f"{skip.reason}")
     result.attach_base_ii()
 
     target = decode_target(target_spec)
@@ -158,15 +173,33 @@ register_cache(_SWEEP_MEMO.clear)
 clear_caches = central_clear_caches
 
 
+def _cell(p, fn):
+    """One Table 6.2 cell: '-' for designs the compiler rejected (e.g.
+    register-file overflow on vliw targets) or absent metrics."""
+    from repro.hw.report import DesignPoint
+    if not isinstance(p, DesignPoint):
+        return "-"
+    val = fn(p)
+    return "-" if val is None else val
+
+
 def format_table_6_2(sweep: dict[str, VariantSet]) -> str:
+    from repro.hw.report import DesignPoint
     blocks = []
     for kernel, vs in sweep.items():
         pts = vs.all_points()
         rows = [
-            ["II (cycles)"] + [p.ii for p in pts],
-            ["Area (rows)"] + [round(p.area_rows) for p in pts],
-            ["Registers"] + [p.registers for p in pts],
+            ["II (cycles)"] + [_cell(p, lambda q: q.ii) for p in pts],
+            ["Area (rows)"] + [_cell(p, lambda q: round(q.area_rows))
+                               for p in pts],
+            ["Registers"] + [_cell(p, lambda q: q.registers) for p in pts],
         ]
+        # register-file targets (vliw) get the pressure row; the spatial
+        # ACEV/GARP tables stay byte-identical to the thesis layout
+        if any(isinstance(p, DesignPoint) and p.max_live is not None
+               for p in pts):
+            rows.append(["MaxLive"] + [_cell(p, lambda q: q.max_live)
+                                       for p in pts])
         blocks.append(render_table(
             [kernel] + [p.label for p in pts], rows))
     return ("Table 6.2: Raw data - initiation interval (II), area and "
@@ -179,11 +212,13 @@ def format_table_6_2(sweep: dict[str, VariantSet]) -> str:
 
 def run_table_6_3(sweep: Optional[dict[str, VariantSet]] = None
                   ) -> dict[str, list[NormalizedPoint]]:
+    from repro.hw.report import DesignPoint
     sweep = sweep or run_table_6_2()
     out: dict[str, list[NormalizedPoint]] = {}
     for kernel, vs in sweep.items():
         base = vs.original
-        out[kernel] = [normalize(base, p) for p in vs.all_points()]
+        out[kernel] = [normalize(base, p) for p in vs.all_points()
+                       if isinstance(p, DesignPoint)]
     return out
 
 
@@ -218,11 +253,26 @@ _FIGS = {
 
 def figure_series(fig: str, norm: Optional[dict] = None
                   ) -> tuple[str, list[str], dict[str, list[float]]]:
-    """Data for one of Figures 6.1-6.4: (title, labels, kernel -> values)."""
+    """Data for one of Figures 6.1-6.4: (title, labels, kernel -> values).
+
+    Series are aligned by design label (first-seen order) rather than
+    by position: on register-file targets some kernels legitimately
+    lose factor variants to pressure rejections, and positional zipping
+    would silently misattribute the survivors.  Missing designs plot as
+    0.0.  On ACEV every kernel carries every label, so the alignment is
+    the historical one.
+    """
     title, metric = _FIGS[fig]
     norm = norm or run_table_6_3()
-    labels = [n.point.label for n in next(iter(norm.values()))]
-    series = {kernel: [metric(n) for n in pts] for kernel, pts in norm.items()}
+    labels: list[str] = []
+    for pts in norm.values():
+        for n in pts:
+            if n.point.label not in labels:
+                labels.append(n.point.label)
+    series = {kernel: [next((metric(n) for n in pts
+                             if n.point.label == lab), 0.0)
+                       for lab in labels]
+              for kernel, pts in norm.items()}
     return title, labels, series
 
 

@@ -10,24 +10,30 @@ complete constraint model and *decides* feasibility, so the first
 feasible II is provably minimal and every smaller II comes with a
 :class:`IICertificate` naming why it is impossible.
 
-The decision procedure exploits the shape of the spatial datapath: every
-operator is its own functional unit, so the only cross-operation
-resource is the memory bus (``mem_ports`` references per MRT row).
+The decision procedure works over the library's *generalized* resource
+model (:meth:`~repro.hw.ops.OperatorLibrary.resource_slots`): on the
+spatial datapath every operator is its own functional unit and the only
+cross-operation resource is the memory bus (``mem_ports`` references
+per MRT row); on VLIW targets every slot-using operation is
+resource-constrained (issue width plus per-functional-unit rows), which
+shrinks the eliminable set and grows the branch space — the budget
+degradation below then does real work.
 
 1. **Precedence** edges from the :data:`~repro.hw.mii.EdgeView` are
    difference constraints ``t(dst) - t(src) >= delay(src) - II*dist``.
    A positive cycle under longest-path relaxation refutes the II
    outright (the recurrence bound).
-2. **Resources** constrain only ``t mod II`` of memory operations: at
-   most ``mem_ports`` of them may share a residue row.  Writing
-   ``t = II*q + r`` and eliminating the resource-free operations by
-   interior-restricted longest paths leaves an integer difference
-   system over the memory operations' ``q`` whose feasibility, for a
-   fixed residue assignment ``r``, is a positive-cycle check.
+2. **Resources** constrain only ``t mod II`` of resource-using
+   operations: per declared resource, at most ``slots`` of its users
+   may share a residue row.  Writing ``t = II*q + r`` and eliminating
+   the resource-free operations by interior-restricted longest paths
+   leaves an integer difference system over the constrained operations'
+   ``q`` whose feasibility, for a fixed residue assignment ``r``, is a
+   positive-cycle check.
 3. The search therefore branches only over residue assignments of the
-   memory operations — slack-ordered variable selection, dependence-
-   driven value order, row-capacity and partial-cycle pruning — and is
-   complete: exhausting it proves the II infeasible.
+   resource-using operations — slack-ordered variable selection,
+   dependence-driven value order, row-capacity and partial-cycle
+   pruning — and is complete: exhausting it proves the II infeasible.
 
 The candidate range is bounded above by the backtracking heuristic's II,
 so the oracle never searches past a schedule it already holds; when the
@@ -67,10 +73,10 @@ class IICertificate:
     """Why one candidate II admits no modulo schedule.
 
     ``reason`` is ``"recurrence"`` (positive dependence cycle),
-    ``"resource"`` (more memory references than ``ports * II`` rows can
-    carry), or ``"search-exhausted"`` (the complete residue search found
-    no feasible assignment).  ``explored`` counts search nodes spent on
-    the refutation.
+    ``"resource"`` (some resource has more users than ``slots * II``
+    rows can carry), or ``"search-exhausted"`` (the complete residue
+    search found no feasible assignment).  ``explored`` counts search
+    nodes spent on the refutation.
     """
 
     ii: int
@@ -262,36 +268,42 @@ def _decide_ii(dfg: DFG, edges: EdgeView, lib: OperatorLibrary, ii: int,
     if est is None:
         return None, "recurrence"
 
-    mem = [n for n in dfg.nodes if lib.uses_mem_port(n)]
+    slots = lib.resource_slots()
+    mem = [n for n in dfg.nodes if lib.node_resources(n)]
     if not mem:
         return dict(est), ""  # the minimal solution is the schedule
-    if len(mem) > lib.mem_ports * ii:
-        return None, "resource"
+    for res, count in lib.resource_use_counts(mem).items():
+        if count > slots[res] * ii:
+            return None, "resource"
 
     mem_ids = {m.nid for m in mem}
+    node_res = {m.nid: lib.node_resources(m) for m in mem}
     ground = _interior_paths(None, nids, arcs, mem_ids)
     inter = {m.nid: _interior_paths(m.nid, nids, arcs, mem_ids)
              for m in mem}
 
     order = [m.nid for m in _slack_order(dfg, edges, dmap, mem)]
     residues: dict[int, int] = {}
-    rows: dict[int, int] = {}
+    rows: dict[str, dict[int, int]] = {res: {} for res in slots}
 
     def assign(idx: int) -> bool:
         if idx == len(order):
             return True
         m = order[idx]
+        m_res = node_res[m]
         first = est[m] % ii  # dependence-driven value order
         for step in range(ii):
             budget.tick()
             r = (first + step) % ii
-            if rows.get(r, 0) >= lib.mem_ports:
+            if any(rows[res].get(r, 0) >= slots[res] for res in m_res):
                 continue
             residues[m] = r
-            rows[r] = rows.get(r, 0) + 1
+            for res in m_res:
+                rows[res][r] = rows[res].get(r, 0) + 1
             if _q_feasible(order, residues, inter, ii) and assign(idx + 1):
                 return True
-            rows[r] -= 1
+            for res in m_res:
+                rows[res][r] -= 1
             del residues[m]
         return False
 
@@ -348,13 +360,13 @@ def _decide_ii(dfg: DFG, edges: EdgeView, lib: OperatorLibrary, ii: int,
 def _package(time: dict[int, int], ii: int, rmii: int, smii: int,
              dfg: DFG, lib: OperatorLibrary, dmap: dict[int, int],
              **verdict) -> ExactSchedule:
-    mrt: dict[int, int] = {}
+    rt: dict[str, dict[int, int]] = {r: {} for r in lib.resource_slots()}
     for n in dfg.nodes:
-        if lib.uses_mem_port(n):
-            row = time[n.nid] % ii
-            mrt[row] = mrt.get(row, 0) + 1
+        row = time[n.nid] % ii
+        for r in lib.node_resources(n):
+            rt[r][row] = rt[r].get(row, 0) + 1
     sched = ExactSchedule(ii=ii, time=time, rec_mii=rmii, res_mii=smii,
-                          mrt=mrt, **verdict)
+                          mrt=rt.get("mem", {}), rt=rt, **verdict)
     sched.length = max((time[n.nid] + dmap[n.nid] for n in dfg.nodes),
                        default=0)
     return sched
@@ -364,18 +376,21 @@ def exact_modulo_schedule(dfg: DFG, lib: OperatorLibrary,
                           edges: Optional[EdgeView] = None,
                           max_ii: Optional[int] = None,
                           budget: Optional[int] = None,
-                          node_limit: Optional[int] = None
+                          node_limit: Optional[int] = None,
+                          min_ii: Optional[int] = None
                           ) -> ExactSchedule:
     """Find a minimum-II modulo schedule, or certify the heuristic's.
 
     The backtracking heuristic bounds the search from above: candidates
-    in ``[max(RecMII, ResMII), heuristic II)`` are decided exactly, so
-    the returned schedule is certified optimal whenever the search
-    completes — either a strictly better II was found, or every smaller
-    II was refuted and the heuristic schedule is returned as proven
-    minimal.  ``budget`` caps total explored search nodes and
+    in ``[max(RecMII, ResMII, min_ii), heuristic II)`` are decided
+    exactly, so the returned schedule is certified optimal whenever the
+    search completes — either a strictly better II was found, or every
+    smaller II was refuted and the heuristic schedule is returned as
+    proven minimal.  ``budget`` caps total explored search nodes and
     ``node_limit`` caps the DFG size; beyond either the heuristic
-    schedule is returned with ``certified=False``.
+    schedule is returned with ``certified=False``.  ``min_ii`` floors
+    the candidate range (the register-pressure II bump) — a certificate
+    under a floor proves minimality *above that floor* only.
     """
     from repro.hw.schedulers import backtracking_modulo_schedule
 
@@ -385,10 +400,11 @@ def exact_modulo_schedule(dfg: DFG, lib: OperatorLibrary,
     node_limit = _env_int(_ENV_NODE_LIMIT, DEFAULT_NODE_LIMIT) \
         if node_limit is None else node_limit
 
-    ub = backtracking_modulo_schedule(dfg, lib, edges=edges, max_ii=max_ii)
+    ub = backtracking_modulo_schedule(dfg, lib, edges=edges, max_ii=max_ii,
+                                      min_ii=min_ii)
     dmap = _delay_map(dfg, lib)
     rmii, smii = ub.rec_mii, ub.res_mii
-    start_ii = max(rmii, smii)
+    start_ii = max(rmii, smii, min_ii or 1)
 
     # Incremental search: an earlier identical run's failed-II
     # certificates are deterministic refutations, so they serve as lower
@@ -400,7 +416,8 @@ def exact_modulo_schedule(dfg: DFG, lib: OperatorLibrary,
     # degradation semantics instead of borrowing a richer run's proofs.
     from repro.hw import iimemo
     sig = iimemo.search_signature(
-        dfg, lib, edges, f"exact:{budget}:{node_limit}", max_ii, dmap=dmap)
+        dfg, lib, edges, f"exact:{budget}:{node_limit}", max_ii, dmap=dmap,
+        min_ii=min_ii)
     record = iimemo.memo_get(sig)
     known: dict[int, IICertificate] = {}
     if record is not None:

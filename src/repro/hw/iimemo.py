@@ -14,8 +14,9 @@ the answer.  RecMII/ResMII ride along, which also skips the
 Bellman-Ford lambda probes on a warm search.
 
 Records are keyed by a content signature over everything the search
-reads: node delays, memory-port usage, the edge-distance view,
-``mem_ports``, the flavor, and the ``max_ii`` cap.  Two tiers, mirroring
+reads: node delays, per-node resource occupancy, the edge-distance
+view, the target's full resource-slot description, the flavor, and the
+``max_ii``/``min_ii`` caps.  Two tiers, mirroring
 :class:`repro.pipeline.analysis.AnalysisCache`:
 
 * an in-process bounded LRU (object identity plays no role — the key is
@@ -56,22 +57,27 @@ register_cache(_MEMO.clear)
 def search_signature(dfg: DFG, lib: OperatorLibrary,
                      edges: EdgeView, flavor: str,
                      max_ii: Optional[int] = None,
-                     dmap: Optional[dict[int, int]] = None) -> str:
+                     dmap: Optional[dict[int, int]] = None,
+                     min_ii: Optional[int] = None) -> str:
     """Content hash of one II-search problem instance.
 
-    Covers every input the search reads: per-node (delay, memory-port
-    use), the edge-distance view, the DFG's *raw* edges (their
+    Covers every input the search reads: per-node (delay, occupied
+    resources), the edge-distance view, the DFG's *raw* edges (their
     distance-0 subgraph drives ``topo_order`` and the slack orders, and
     relaxation erases raw-distance information, so the view alone would
-    under-key the placement order), the port count, the strategy flavor
-    (which fixes the placement-order set), and the ``max_ii`` cap.
-    Node ids are construction-deterministic, so the signature is stable
-    across processes.
+    under-key the placement order), the full resource description
+    (every declared resource's slot capacity — not just the memory
+    bus), the strategy flavor (which fixes the placement-order set),
+    and the ``max_ii`` / ``min_ii`` caps.  Node ids are
+    construction-deterministic, so the signature is stable across
+    processes.
     """
     delay = dmap.__getitem__ if dmap is not None else None
-    parts = [f"{flavor}|{max_ii}|{lib.mem_ports}"]
+    slots = ",".join(f"{r}={c}" for r, c in sorted(lib.resource_slots()
+                                                   .items()))
+    parts = [f"{flavor}|{max_ii}|{min_ii}|{slots}"]
     parts += [f"{n.nid}:{delay(n.nid) if delay else lib.delay(n)}:"
-              f"{1 if lib.uses_mem_port(n) else 0}" for n in dfg.nodes]
+              f"{'+'.join(lib.node_resources(n))}" for n in dfg.nodes]
     parts.append("view")
     parts += [f"{s.nid}>{d.nid}:{dist}" for s, d, dist in edges]
     parts.append("raw")

@@ -2,8 +2,12 @@
 
 Iterations execute back to back: the initiation interval equals the
 resource-constrained makespan of a single iteration.  Dependence-feasible
-ASAP placement with the memory bus limited to ``mem_ports`` references per
-absolute cycle.
+ASAP placement under the library's generalized resource model: a node
+issues at the first cycle where every resource it occupies
+(:meth:`~repro.hw.ops.OperatorLibrary.node_resources`) still has a free
+slot.  On the spatial datapath that is the memory bus limited to
+``mem_ports`` references per absolute cycle; VLIW targets add
+issue-width and functional-unit rows.
 """
 
 from __future__ import annotations
@@ -23,29 +27,39 @@ class ListSchedule:
 
     time: dict[int, int] = field(default_factory=dict)
     length: int = 0                    # makespan == non-pipelined II
+    #: memory-bus occupancy per absolute cycle (back-compat view of
+    #: ``resource_usage["mem"]``)
     port_usage: dict[int, int] = field(default_factory=dict)
+    #: full per-resource occupancy: resource name -> cycle -> count
+    resource_usage: dict[str, dict[int, int]] = field(default_factory=dict)
 
     def start(self, node: DFGNode) -> int:
         return self.time[node.nid]
 
 
 def list_schedule(dfg: DFG, lib: OperatorLibrary) -> ListSchedule:
-    """ASAP schedule of the distance-0 subgraph under memory-port limits."""
+    """ASAP schedule of the distance-0 subgraph under resource limits."""
     sched = ListSchedule()
     preds: dict[int, list[DFGNode]] = {n.nid: [] for n in dfg.nodes}
     for e in dfg.edges:
         if e.dist == 0:
             preds[e.dst.nid].append(e.src)
 
+    slots = lib.resource_slots()
+    usage: dict[str, dict[int, int]] = {r: {} for r in slots}
     for node in dfg.topo_order():
         t = 0
         for src in preds[node.nid]:
             t = max(t, sched.time[src.nid] + lib.delay(src))
-        if lib.uses_mem_port(node):
-            while sched.port_usage.get(t, 0) >= lib.mem_ports:
+        res = lib.node_resources(node)
+        if res:
+            while any(usage[r].get(t, 0) >= slots[r] for r in res):
                 t += 1
-            sched.port_usage[t] = sched.port_usage.get(t, 0) + 1
+            for r in res:
+                usage[r][t] = usage[r].get(t, 0) + 1
         sched.time[node.nid] = t
+    sched.resource_usage = usage
+    sched.port_usage = usage.get("mem", {})
     sched.length = max((sched.time[n.nid] + lib.delay(n) for n in dfg.nodes),
                        default=0)
     # a loop iteration takes at least one cycle even if empty

@@ -4,9 +4,13 @@
   cycles of ``ceil(delay(C) / distance(C))``.  Computed with the
   parametric Bellman-Ford technique (is there a cycle with
   ``delay > lambda * distance``? — binary search on lambda).
-* **ResMII** — the resource-constrained bound.  On the spatial FPGA
+* **ResMII** — the resource-constrained bound: the maximum over the
+  target's shared resources (:meth:`~repro.hw.ops.OperatorLibrary.
+  resource_slots`) of ``ceil(uses / slots)``.  On the spatial FPGA
   datapath every operator is its own functional unit, so the only shared
-  resource is the memory bus: ``ceil(memory references / ports)``.
+  resource is the memory bus — ``ceil(memory references / ports)`` — and
+  the general formula degenerates to it; VLIW targets add issue-width
+  and per-functional-unit rows.
 
 ``squash_distances`` builds the relaxed edge-distance view of a squashed
 design: an edge crossing ``k`` stage boundaries gains ``k`` ticks of
@@ -204,11 +208,20 @@ def rec_mii(dfg: DFG, delay: Callable[[DFGNode], int],
 
 
 def res_mii(dfg: DFG, lib: OperatorLibrary) -> int:
-    """Resource-constrained minimum II (memory bus only; spatial ops)."""
-    mem = sum(1 for n in dfg.nodes if lib.uses_mem_port(n))
-    if mem == 0:
+    """Resource-constrained minimum II.
+
+    The maximum over the library's shared resources of
+    ``ceil(uses / slots)`` — on the spatial datapath that is the single
+    memory-bus row (``ceil(memory references / ports)``); on issue-slot
+    machines every functional-unit class and the issue width itself
+    contribute a bound.
+    """
+    uses = lib.resource_use_counts(dfg.nodes)
+    if not uses:
         return 1
-    return max(1, math.ceil(mem / lib.mem_ports))
+    slots = lib.resource_slots()
+    return max(1, max(math.ceil(count / slots[r])
+                      for r, count in uses.items()))
 
 
 def min_ii(dfg: DFG, lib: OperatorLibrary,

@@ -1,15 +1,22 @@
-"""Modulo scheduling with a memory-port reservation table (thesis §3.5).
+"""Modulo scheduling with a generalized reservation table (thesis §3.5).
 
-Implements an iterative modulo scheduler in the style of Rau's IMS,
-specialized to the spatial FPGA datapath: every operator is its own
-functional unit, so the modulo reservation table (MRT) tracks only the
-shared memory bus (``mem_ports`` references per cycle).
+Implements an iterative modulo scheduler in the style of Rau's IMS over
+a *generalized* modulo reservation table: every shared resource the
+operator library declares (:meth:`~repro.hw.ops.OperatorLibrary.
+resource_slots`) contributes its own row set, and a node occupies one
+slot in each of its :meth:`~repro.hw.ops.OperatorLibrary.node_resources`
+rows when it issues.  On the spatial FPGA datapath every operator is its
+own functional unit, so the only declared resource is the memory bus
+(``mem_ports`` references per cycle) and the table degenerates to the
+thesis's memory-port MRT exactly; VLIW targets add issue-width and
+per-functional-unit rows through the same interface.
 
 For each candidate II starting at ``max(RecMII, ResMII)``:
 
 1. place nodes in topological order of the distance-0 subgraph at their
-   earliest dependence-feasible slot, advancing memory operations until
-   their ``time mod II`` row has a free port;
+   earliest dependence-feasible slot, advancing resource-using
+   operations until their ``time mod II`` row has a free slot in every
+   resource they occupy;
 2. verify *all* edges — including backedges to already-placed nodes
    (``t(dst) + II*dist >= t(src) + delay(src)``); if any fails, retry the
    placement with the violated sinks delayed, and ultimately fall back to
@@ -17,7 +24,10 @@ For each candidate II starting at ``max(RecMII, ResMII)``:
 
 The same engine schedules all pipelined variants: the plain loop
 (distances as built), and the squashed design (stage-relaxed distances
-from :func:`repro.hw.mii.squash_distances`).
+from :func:`repro.hw.mii.squash_distances`).  ``min_ii`` floors the
+candidate range — the register-pressure II bump of
+:mod:`repro.vliw.pressure` re-enters the search above an II whose
+schedule overflowed the register file.
 """
 
 from __future__ import annotations
@@ -32,6 +42,9 @@ from repro.hw.ops import OperatorLibrary
 
 __all__ = ["ModuloSchedule", "modulo_schedule"]
 
+#: nid -> resource-name tuple; hoisted out of the placement hot loop.
+ResourceMap = dict[int, tuple[str, ...]]
+
 
 @dataclass
 class ModuloSchedule:
@@ -41,10 +54,14 @@ class ModuloSchedule:
     time: dict[int, int]                 # node id -> start cycle
     rec_mii: int
     res_mii: int
-    #: MRT occupancy: row -> number of memory references
+    #: memory-bus MRT occupancy: row -> number of memory references
+    #: (back-compat view of ``rt["mem"]``; empty when the target has no
+    #: ``"mem"`` resource)
     mrt: dict[int, int] = field(default_factory=dict)
     #: schedule length of one iteration (makespan)
     length: int = 0
+    #: full reservation table: resource name -> row -> occupancy
+    rt: dict[str, dict[int, int]] = field(default_factory=dict)
 
     def start(self, node: DFGNode) -> int:
         return self.time[node.nid]
@@ -54,6 +71,11 @@ def _delay_map(dfg: DFG, lib: OperatorLibrary) -> dict[int, int]:
     """Node-id -> latency memo; the II search re-reads delays O(E * II
     candidates * repair rounds) times, so one dict beats spec lookups."""
     return {n.nid: lib.delay(n) for n in dfg.nodes}
+
+
+def _resource_map(dfg: DFG, lib: OperatorLibrary) -> ResourceMap:
+    """Node-id -> occupied-resources memo, shared by the whole search."""
+    return {n.nid: lib.node_resources(n) for n in dfg.nodes}
 
 
 def _pred_map(dfg: DFG, edges: EdgeView, dmap: dict[int, int]
@@ -71,26 +93,29 @@ def _attempt(dfg: DFG, edges: EdgeView, lib: OperatorLibrary, ii: int,
              extra_lat: dict[int, int],
              order: Optional[list[DFGNode]] = None,
              dmap: Optional[dict[int, int]] = None,
-             preds: Optional[dict[int, list[tuple[int, int, int]]]] = None
+             preds: Optional[dict[int, list[tuple[int, int, int]]]] = None,
+             rmap: Optional[ResourceMap] = None,
+             slots: Optional[dict[str, int]] = None
              ) -> Optional[ModuloSchedule]:
     """One placement pass at a fixed II.
 
     ``order`` overrides the node placement order (default: topological
     order of the distance-0 subgraph).  Non-topological orders are legal:
     predecessors not yet placed are simply ignored here, and the repair
-    loop in the caller catches the resulting violations.  ``dmap`` and
-    ``preds`` let the II search share one delay map and predecessor map
-    across all candidate IIs and repair rounds.
+    loop in the caller catches the resulting violations.  ``dmap``,
+    ``preds``, ``rmap``, and ``slots`` let the II search share one delay
+    map, predecessor map, and resource description across all candidate
+    IIs and repair rounds.
     """
     dmap = dmap if dmap is not None else _delay_map(dfg, lib)
     if preds is None:
         preds = _pred_map(dfg, edges, dmap)
+    rmap = rmap if rmap is not None else _resource_map(dfg, lib)
+    slots = slots if slots is not None else lib.resource_slots()
 
     time: dict[int, int] = {}
-    mrt: dict[int, int] = {}
-    mrt_get = mrt.get
+    rt: dict[str, dict[int, int]] = {r: {} for r in slots}
     time_get = time.get
-    ports = lib.mem_ports
     length = 0
 
     for node in (order if order is not None else dfg.topo_order()):
@@ -104,23 +129,27 @@ def _attempt(dfg: DFG, edges: EdgeView, lib: OperatorLibrary, ii: int,
                     t = ready
         if t < 0:
             t = 0
-        if lib.uses_mem_port(node):
-            # advance until `t mod II` lands on a row with a free port;
-            # after II steps every row has been probed, so give up.
+        res = rmap[nid]
+        if res:
+            # advance until `t mod II` lands on a row with a free slot
+            # in every resource the node occupies; after II steps every
+            # row has been probed, so give up.
             for _ in range(ii):
                 row = t % ii
-                if mrt_get(row, 0) < ports:
+                if all(rt[r].get(row, 0) < slots[r] for r in res):
                     break
                 t += 1
             else:
                 return None
-            mrt[row] = mrt_get(row, 0) + 1
+            for r in res:
+                rt[r][row] = rt[r].get(row, 0) + 1
         time[nid] = t
         end = t + dmap[nid]
         if end > length:
             length = end
 
-    sched = ModuloSchedule(ii=ii, time=time, rec_mii=0, res_mii=0, mrt=mrt)
+    sched = ModuloSchedule(ii=ii, time=time, rec_mii=0, res_mii=0,
+                           mrt=rt.get("mem", {}), rt=rt)
     sched.length = length
     return sched
 
@@ -142,17 +171,19 @@ def _violations(dfg: DFG, edges: EdgeView, lib: OperatorLibrary,
 def _search(dfg: DFG, lib: OperatorLibrary, edges: EdgeView,
             orders: list[Optional[list[DFGNode]]],
             max_ii: Optional[int] = None,
-            flavor: Optional[str] = None) -> ModuloSchedule:
+            flavor: Optional[str] = None,
+            min_ii: Optional[int] = None) -> ModuloSchedule:
     """The II search shared by every modulo strategy — incremental.
 
-    For each candidate II (starting at ``max(RecMII, ResMII)``), each
-    placement ``order`` (``None`` = topological) gets the full
+    For each candidate II (starting at ``max(RecMII, ResMII, min_ii)``),
+    each placement ``order`` (``None`` = topological) gets the full
     placement-and-repair budget before the II is abandoned.
 
     Incrementality (all result-preserving):
 
-    * the delay map, predecessor map, and topological order are computed
-      once and shared by every candidate II, order, and repair round;
+    * the delay map, predecessor map, resource map, and topological
+      order are computed once and shared by every candidate II, order,
+      and repair round;
     * when ``flavor`` names the strategy, the two-tier
       :mod:`repro.hw.iimemo` is consulted: a hit supplies RecMII/ResMII
       (pure functions of the inputs) and the set of *refuted* candidate
@@ -168,7 +199,7 @@ def _search(dfg: DFG, lib: OperatorLibrary, edges: EdgeView,
     sig = record = None
     if flavor is not None:
         sig = iimemo.search_signature(dfg, lib, edges, flavor, max_ii,
-                                      dmap=dmap)
+                                      dmap=dmap, min_ii=min_ii)
         record = iimemo.memo_get(sig)
     if record is not None:
         rmii, smii = record["rmii"], record["smii"]
@@ -177,10 +208,12 @@ def _search(dfg: DFG, lib: OperatorLibrary, edges: EdgeView,
         rmii = rec_mii(dfg, lambda n: dmap[n.nid], edges)
         smii = res_mii(dfg, lib)
         refuted = set()
-    start_ii = max(rmii, smii)
+    start_ii = max(rmii, smii, min_ii or 1)
     limit = max_ii or max(start_ii, sum(dmap.values())) + 1
 
     preds = _pred_map(dfg, edges, dmap)
+    rmap = _resource_map(dfg, lib)
+    slots = lib.resource_slots()
     topo = dfg.topo_order()
     tried: list[int] = []
     for ii in range(start_ii, limit + 1):
@@ -192,7 +225,8 @@ def _search(dfg: DFG, lib: OperatorLibrary, edges: EdgeView,
             for _ in range(8):  # a few repair rounds per II and order
                 sched = _attempt(dfg, edges, lib, ii, extra,
                                  order=order if order is not None else topo,
-                                 dmap=dmap, preds=preds)
+                                 dmap=dmap, preds=preds, rmap=rmap,
+                                 slots=slots)
                 if sched is None:
                     break
                 bad = _violations(dfg, edges, lib, sched, dmap=dmap)
@@ -221,17 +255,20 @@ def _search(dfg: DFG, lib: OperatorLibrary, edges: EdgeView,
     raise ScheduleError(
         f"no modulo schedule found up to II={limit} "
         f"(RecMII={rmii}, ResMII={smii}"
+        + (f", II floor {min_ii}" if min_ii else "")
         + (f", {len(orders)} orderings per II" if len(orders) > 1 else "")
         + ")")
 
 
 def modulo_schedule(dfg: DFG, lib: OperatorLibrary,
                     edges: Optional[EdgeView] = None,
-                    max_ii: Optional[int] = None) -> ModuloSchedule:
+                    max_ii: Optional[int] = None,
+                    min_ii: Optional[int] = None) -> ModuloSchedule:
     """Find a legal modulo schedule; raises :class:`ScheduleError` if none.
 
-    ``edges`` overrides the dependence-distance view (used for squash).
+    ``edges`` overrides the dependence-distance view (used for squash);
+    ``min_ii`` floors the candidate range (the register-pressure bump).
     """
     edges = edges if edges is not None else default_edge_view(dfg)
     return _search(dfg, lib, edges, orders=[None], max_ii=max_ii,
-                   flavor="modulo")
+                   flavor="modulo", min_ii=min_ii)

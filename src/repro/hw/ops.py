@@ -65,7 +65,23 @@ def _default_table() -> dict[str, OpSpec]:
 
 @dataclass
 class OperatorLibrary:
-    """Maps DFG nodes to :class:`OpSpec`; parameterized per target."""
+    """Maps DFG nodes to :class:`OpSpec`; parameterized per target.
+
+    Besides costs, the library describes the machine's *shared
+    resources* through two hooks the schedulers consume:
+
+    * :meth:`resource_slots` — named resources with per-cycle slot
+      capacities (the rows of the generalized reservation table);
+    * :meth:`node_resources` — which of those resources one DFG node
+      occupies for a cycle when it issues.
+
+    On the spatial FPGA datapath every operator is its own functional
+    unit, so the base library exposes a single resource — the memory
+    bus (``"mem"``, ``mem_ports`` slots) — and the generalized
+    machinery degenerates to the thesis's memory-port MRT exactly.
+    Issue-slot architectures (:mod:`repro.vliw.machine`) override both
+    hooks with per-functional-unit rows.
+    """
 
     name: str = "acev"
     table: dict[str, OpSpec] = field(default_factory=_default_table)
@@ -73,6 +89,10 @@ class OperatorLibrary:
     reg_rows: float = 1.0
     #: memory-bus references allowed per clock cycle
     mem_ports: int = 2
+    #: architected register-file capacity; ``None`` means unbounded
+    #: (the spatial datapath synthesizes registers, it never runs out) —
+    #: finite capacities trigger the pipeline's register-pressure II bump
+    register_file: "int | None" = None
 
     def key_for(self, node: DFGNode) -> str:
         if node.kind in ("load", "store", "rom_load", "select", "cast"):
@@ -103,7 +123,38 @@ class OperatorLibrary:
 
     def uses_mem_port(self, node: DFGNode) -> bool:
         """Does this node occupy a memory-bus port for one cycle?"""
-        return node.kind in ("load", "store")
+        return "mem" in self.node_resources(node)
+
+    # -- generalized reservation-table resource model ----------------------
+
+    def resource_slots(self) -> dict[str, int]:
+        """Named shared resources and their per-cycle slot capacities.
+
+        The base datapath shares only the memory bus; subclasses add
+        issue slots and functional-unit rows.  Keys are stable strings
+        (``"mem"``, ``"issue"``, ``"alu"``, ...) — the reservation
+        tables, II-search memo signatures, and simulators are all keyed
+        by them.
+        """
+        return {"mem": self.mem_ports}
+
+    def node_resources(self, node: DFGNode) -> tuple[str, ...]:
+        """Resources ``node`` occupies for one cycle when it issues.
+
+        Must return a subset of :meth:`resource_slots`'s keys; an empty
+        tuple means the operation is spatial/free (its own hardware).
+        """
+        if node.kind in ("load", "store"):
+            return ("mem",)
+        return ()
+
+    def resource_use_counts(self, nodes) -> dict[str, int]:
+        """Total per-resource issue counts over ``nodes`` (ResMII input)."""
+        uses: dict[str, int] = {}
+        for n in nodes:
+            for r in self.node_resources(n):
+                uses[r] = uses.get(r, 0) + 1
+        return uses
 
     def with_ports(self, ports: int) -> "OperatorLibrary":
         return replace(self, mem_ports=ports, table=dict(self.table))

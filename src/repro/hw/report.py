@@ -60,6 +60,13 @@ class DesignPoint:
     #: ``exact`` scheduler, or propagated across the scheduler axis by
     #: :meth:`repro.explore.engine.ExploreResult.attach_exact_ii`
     exact_ii: Optional[int] = None
+    #: register-file targets only (:mod:`repro.vliw`): peak simultaneously
+    #: live values per kernel cycle under modulo execution, after any
+    #: register-pressure II bumps
+    max_live: Optional[int] = None
+    #: architected register-file capacity of the target (None = spatial
+    #: datapath, registers are synthesized rather than allocated)
+    reg_capacity: Optional[int] = None
 
     @property
     def label(self) -> str:

@@ -73,7 +73,8 @@ class Scheduler(Protocol):
 
     def schedule(self, dfg: DFG, lib: OperatorLibrary,
                  edges: Optional[EdgeView] = None,
-                 max_ii: Optional[int] = None
+                 max_ii: Optional[int] = None,
+                 min_ii: Optional[int] = None
                  ) -> "ModuloSchedule | ListSchedule":
         ...  # pragma: no cover - protocol
 
@@ -84,7 +85,8 @@ class ListScheduler:
     name = "list"
     pipelined = False
 
-    def schedule(self, dfg, lib, edges=None, max_ii=None) -> ListSchedule:
+    def schedule(self, dfg, lib, edges=None, max_ii=None,
+                 min_ii=None) -> ListSchedule:
         return list_schedule(dfg, lib)
 
 
@@ -94,8 +96,10 @@ class IterativeModuloScheduler:
     name = "modulo"
     pipelined = True
 
-    def schedule(self, dfg, lib, edges=None, max_ii=None) -> ModuloSchedule:
-        return modulo_schedule(dfg, lib, edges=edges, max_ii=max_ii)
+    def schedule(self, dfg, lib, edges=None, max_ii=None,
+                 min_ii=None) -> ModuloSchedule:
+        return modulo_schedule(dfg, lib, edges=edges, max_ii=max_ii,
+                               min_ii=min_ii)
 
 
 def _slack_orders(dfg: DFG, edges: EdgeView, lib: OperatorLibrary
@@ -106,8 +110,10 @@ def _slack_orders(dfg: DFG, edges: EdgeView, lib: OperatorLibrary
     view* (a squash design's relaxed distances, not the DFG's raw ones):
     nodes with the least scheduling freedom are placed first, so they
     claim contested MRT rows before flexible nodes fill them.  The
-    second ordering pulls memory operations (the only shared resource)
-    to the very front.
+    second ordering pulls the most resource-contended operations to the
+    very front — ranked by the pressure (``uses / slots``) of the
+    scarcest resource each node occupies, which on the spatial datapath
+    (memory bus only) reduces to the historical memory-first order.
     """
     delay = lib.delay
     topo = dfg.topo_order()
@@ -136,10 +142,16 @@ def _slack_orders(dfg: DFG, edges: EdgeView, lib: OperatorLibrary
     slack = {n.nid: alap[n.nid] - asap[n.nid] for n in topo}
 
     by_slack = sorted(topo, key=lambda n: (slack[n.nid], asap[n.nid], n.nid))
-    mem_first = sorted(topo, key=lambda n: (not lib.uses_mem_port(n),
-                                            slack[n.nid], asap[n.nid], n.nid))
+    slots = lib.resource_slots()
+    uses = lib.resource_use_counts(dfg.nodes)
+    pressure = {n.nid: max((uses[r] / slots[r]
+                            for r in lib.node_resources(n)), default=0.0)
+                for n in topo}
+    contended_first = sorted(topo, key=lambda n: (-pressure[n.nid],
+                                                  slack[n.nid],
+                                                  asap[n.nid], n.nid))
     orders, seen = [], {tuple(n.nid for n in topo)}
-    for order in (by_slack, mem_first):
+    for order in (by_slack, contended_first):
         key = tuple(n.nid for n in order)
         if key not in seen:
             seen.add(key)
@@ -149,7 +161,8 @@ def _slack_orders(dfg: DFG, edges: EdgeView, lib: OperatorLibrary
 
 def backtracking_modulo_schedule(dfg: DFG, lib: OperatorLibrary,
                                  edges: Optional[EdgeView] = None,
-                                 max_ii: Optional[int] = None
+                                 max_ii: Optional[int] = None,
+                                 min_ii: Optional[int] = None
                                  ) -> ModuloSchedule:
     """Modulo scheduling that retries node orderings before raising an II.
 
@@ -164,7 +177,7 @@ def backtracking_modulo_schedule(dfg: DFG, lib: OperatorLibrary,
     orders: list[Optional[list[DFGNode]]] = [None]  # None = topo order
     orders += _slack_orders(dfg, edges, lib)
     return _search(dfg, lib, edges, orders=orders, max_ii=max_ii,
-                   flavor="backtrack")
+                   flavor="backtrack", min_ii=min_ii)
 
 
 class BacktrackingModuloScheduler:
@@ -173,9 +186,10 @@ class BacktrackingModuloScheduler:
     name = "backtrack"
     pipelined = True
 
-    def schedule(self, dfg, lib, edges=None, max_ii=None) -> ModuloSchedule:
+    def schedule(self, dfg, lib, edges=None, max_ii=None,
+                 min_ii=None) -> ModuloSchedule:
         return backtracking_modulo_schedule(dfg, lib, edges=edges,
-                                            max_ii=max_ii)
+                                            max_ii=max_ii, min_ii=min_ii)
 
 
 class ExactModuloScheduler:
@@ -191,8 +205,10 @@ class ExactModuloScheduler:
     name = "exact"
     pipelined = True
 
-    def schedule(self, dfg, lib, edges=None, max_ii=None) -> ExactSchedule:
-        return exact_modulo_schedule(dfg, lib, edges=edges, max_ii=max_ii)
+    def schedule(self, dfg, lib, edges=None, max_ii=None,
+                 min_ii=None) -> ExactSchedule:
+        return exact_modulo_schedule(dfg, lib, edges=edges, max_ii=max_ii,
+                                     min_ii=min_ii)
 
 
 _REGISTRY: dict[str, Scheduler] = {}

@@ -36,10 +36,44 @@ class SimulationResult:
     port_peak: int
     port_cycles_used: int
     violations: list[str] = field(default_factory=list)
+    #: per-resource peak occupancy over the replay window (the memory
+    #: bus's peak is also surfaced as ``port_peak`` for back-compat)
+    resource_peaks: dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return not self.violations
+
+
+def _replay_resources(nodes, lib: OperatorLibrary, issue_at,
+                      iterations: int, violations: list[str]
+                      ) -> dict[str, dict[int, int]]:
+    """Cycle-by-cycle occupancy of every declared resource.
+
+    ``issue_at(node, k)`` maps (node, iteration) to the absolute issue
+    cycle; oversubscription of any resource's slots is appended to
+    ``violations`` (the memory bus keeps its historical message text).
+    """
+    slots = lib.resource_slots()
+    usage: dict[str, dict[int, int]] = {r: {} for r in slots}
+    tracked = [(n, lib.node_resources(n)) for n in nodes
+               if lib.node_resources(n)]
+    for k in range(iterations):
+        for n, res in tracked:
+            t = issue_at(n, k)
+            for r in res:
+                occ = usage[r].get(t, 0) + 1
+                usage[r][t] = occ
+                if occ > slots[r]:
+                    if r == "mem":
+                        violations.append(
+                            f"cycle {t}: {occ} memory refs > "
+                            f"{slots[r]} ports")
+                    else:
+                        violations.append(
+                            f"cycle {t}: {occ} {r} issues > "
+                            f"{slots[r]} slots")
+    return usage
 
 
 def simulate_modulo(dfg: DFG, lib: OperatorLibrary, sched: ModuloSchedule,
@@ -47,19 +81,12 @@ def simulate_modulo(dfg: DFG, lib: OperatorLibrary, sched: ModuloSchedule,
                     edges: Optional[EdgeView] = None) -> SimulationResult:
     """Replay a modulo schedule: iteration ``k`` issues at ``k * II``."""
     edges = edges if edges is not None else default_edge_view(dfg)
-    ports: dict[int, int] = {}
     violations: list[str] = []
-
-    mem_nodes = [n for n in dfg.nodes if lib.uses_mem_port(n)]
-    for k in range(iterations):
-        base = k * sched.ii
-        for n in mem_nodes:
-            t = base + sched.time[n.nid]
-            ports[t] = ports.get(t, 0) + 1
-            if ports[t] > lib.mem_ports:
-                violations.append(
-                    f"cycle {t}: {ports[t]} memory refs > "
-                    f"{lib.mem_ports} ports")
+    usage = _replay_resources(
+        dfg.nodes, lib,
+        lambda n, k: k * sched.ii + sched.time[n.nid],
+        iterations, violations)
+    ports = usage.get("mem", {})
     # Dependence check across overlapped iterations.  A modulo schedule
     # is periodic, so the start-time gap of an edge is the same for every
     # source iteration k; the replay window only needs to cover the
@@ -91,26 +118,26 @@ def simulate_modulo(dfg: DFG, lib: OperatorLibrary, sched: ModuloSchedule,
     return SimulationResult(
         iterations=iterations, total_cycles=total,
         port_peak=max(ports.values(), default=0),
-        port_cycles_used=len(ports), violations=violations)
+        port_cycles_used=len(ports), violations=violations,
+        resource_peaks={r: max(occ.values(), default=0)
+                        for r, occ in usage.items()})
 
 
 def simulate_sequential(dfg: DFG, lib: OperatorLibrary, sched: ListSchedule,
                         iterations: int) -> SimulationResult:
     """Replay the non-pipelined design: iterations run back to back."""
-    ports: dict[int, int] = {}
     violations: list[str] = []
-    mem_nodes = [n for n in dfg.nodes if lib.uses_mem_port(n)]
-    for k in range(iterations):
-        base = k * sched.length
-        for n in mem_nodes:
-            t = base + sched.time[n.nid]
-            ports[t] = ports.get(t, 0) + 1
-            if ports[t] > lib.mem_ports:
-                violations.append(f"cycle {t}: port oversubscription")
+    usage = _replay_resources(
+        dfg.nodes, lib,
+        lambda n, k: k * sched.length + sched.time[n.nid],
+        iterations, violations)
+    ports = usage.get("mem", {})
     return SimulationResult(
         iterations=iterations, total_cycles=iterations * sched.length,
         port_peak=max(ports.values(), default=0),
-        port_cycles_used=len(ports), violations=violations)
+        port_cycles_used=len(ports), violations=violations,
+        resource_peaks={r: max(occ.values(), default=0)
+                        for r, occ in usage.items()})
 
 
 def occupancy_timeline(dfg: DFG, lib: OperatorLibrary, sched: ModuloSchedule,

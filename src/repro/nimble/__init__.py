@@ -2,7 +2,8 @@
 compilation onto a parametric reconfigurable target (thesis Ch. 5)."""
 
 from repro.nimble.target import (  # noqa: F401
-    ACEV, GARP, Target, decode_target, target_by_name,
+    ACEV, GARP, VLIW4, Target, VLIWTarget, available_targets,
+    decode_target, target_by_name,
 )
 from repro.nimble.profile import (  # noqa: F401
     LoopProfile, ProfileSummary, profile_program, profile_summary,

@@ -95,11 +95,24 @@ class AnalyzedDFG:
 
 @dataclass
 class ScheduledDesign:
-    """Stage 4 output: one scheduler strategy's answer for the DFG."""
+    """Stage 4 output: one scheduler strategy's answer for the DFG.
+
+    ``pressure`` is populated only on targets with a finite register
+    file (:mod:`repro.vliw`): the accepted schedule's register demand,
+    after any II bumps the pipeline needed to make it fit.
+    """
 
     analyzed: AnalyzedDFG
     scheduler: str
     schedule: "ModuloSchedule | ListSchedule"
+    #: register-pressure verdict (repro.vliw.pressure.PressureInfo) on
+    #: register-file targets; None on spatial targets
+    pressure: Optional[object] = None
+    #: True when register pressure forced the II above the scheduler's
+    #: own answer (a ``min_ii`` floor was applied) — an ``exact``
+    #: certificate under a floor proves minimality above that floor
+    #: only, so floored schedules must not claim a design optimum
+    ii_floored: bool = False
 
     @property
     def pipelined(self) -> bool:

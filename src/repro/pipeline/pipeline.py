@@ -291,10 +291,46 @@ class CompilationPipeline:
     def _schedule(self, plan: VariantPlan,
                   analyzed: AnalyzedDFG) -> ScheduledDesign:
         strategy = self._resolve_scheduler(plan)
-        schedule = strategy.schedule(analyzed.dfg, self.target.library,
-                                     edges=analyzed.edges)
+        lib = self.target.library
+        schedule = strategy.schedule(analyzed.dfg, lib, edges=analyzed.edges)
+        pressure, floored = None, False
+        if strategy.pipelined and \
+                getattr(lib, "register_file", None) is not None:
+            schedule, pressure, floored = self._fit_register_file(
+                strategy, analyzed, schedule)
         return ScheduledDesign(analyzed=analyzed, scheduler=strategy.name,
-                               schedule=schedule)
+                               schedule=schedule, pressure=pressure,
+                               ii_floored=floored)
+
+    def _fit_register_file(self, strategy: Scheduler, analyzed: AnalyzedDFG,
+                           schedule):
+        """The register-pressure II bump (register-file targets only).
+
+        Growing the II shrinks the overlap depth, so each bump
+        monotonically relieves pressure; once the II reaches the
+        schedule makespan a single iteration is in flight and no
+        further relief exists — an overflow there is a hard reject.
+        """
+        from repro.vliw.pressure import register_pressure
+
+        lib = self.target.library
+        floored = False
+        pressure = register_pressure(analyzed.dfg, lib, schedule,
+                                     analyzed.edges)
+        while not pressure.fits:
+            if schedule.ii >= schedule.length:
+                raise ScheduleError(
+                    f"register pressure {pressure.required} exceeds the "
+                    f"{pressure.capacity}-entry register file at "
+                    f"II={schedule.ii} >= makespan {schedule.length}; no "
+                    f"larger II can relieve it")
+            schedule = strategy.schedule(analyzed.dfg, lib,
+                                         edges=analyzed.edges,
+                                         min_ii=schedule.ii + 1)
+            floored = True
+            pressure = register_pressure(analyzed.dfg, lib, schedule,
+                                         analyzed.edges)
+        return schedule, pressure, floored
 
     def _validate(self, plan: VariantPlan,
                   scheduled: ScheduledDesign) -> ValidatedDesign:
@@ -321,10 +357,13 @@ class CompilationPipeline:
         else:
             ii, rec, res = sched.length, 0, 0
         # a certified exact schedule pins the design's optimal II; an
-        # uncertified (budget-degraded) one claims nothing
+        # uncertified (budget-degraded) one claims nothing, and neither
+        # does a register-pressure-floored one — its certificate proves
+        # minimality above the floor only, not the design optimum
         exact_ii = sched.ii if isinstance(sched, ExactSchedule) \
-            and sched.certified else None
+            and sched.certified and not scheduled.ii_floored else None
         plan = VARIANT_PLANS[t.variant]
+        pressure = scheduled.pressure
         return DesignPoint(
             kernel=built.kernel,
             variant=t.variant, factor=t.factor, ii=ii,
@@ -335,7 +374,10 @@ class CompilationPipeline:
             outer_trip=t.outer_trip, inner_trip=t.inner_trip,
             base_ii=base_ii, schedule_length=sched.length,
             squash_ds=t.ds if t.variant == "jam+squash" else None,
-            exact_ii=exact_ii)
+            exact_ii=exact_ii,
+            max_live=pressure.max_live if pressure is not None else None,
+            reg_capacity=pressure.capacity if pressure is not None
+            else None)
 
     # -- driver -----------------------------------------------------------
 

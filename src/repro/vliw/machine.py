@@ -1,0 +1,150 @@
+"""VLIW machine descriptions — issue slots, functional units, registers.
+
+Modulo scheduling (and unroll-and-squash's framing of it) was born on
+issue-slot architectures; this module describes that machine family so
+the generic scheduling stack (:mod:`repro.hw`) can target it through
+the same :class:`~repro.hw.ops.OperatorLibrary` resource hooks the
+spatial FPGA datapath uses.
+
+A :class:`VLIWOperatorLibrary` declares:
+
+* an **issue width** — at most ``issue_width`` operations start per
+  cycle, regardless of unit mix;
+* **functional-unit rows** — ``alu`` general units, ``mul``
+  multiply/divide units, ``mem`` load/store units (kept in the
+  inherited ``mem_ports`` field so the generic ``ports=`` machinery and
+  ResMII reporting keep one source of truth), and ``br`` branch units;
+* a finite **register file** (``register_file`` architected registers)
+  with optional **rotating registers** — rotation changes how modulo
+  variable expansion is paid for (see :mod:`repro.vliw.pressure`), and
+  a schedule whose pressure overflows the file triggers the pipeline's
+  II bump.
+
+Operation classes: ``load``/``store``/``rom_load`` issue on a MEM unit
+(on a VLIW a table lookup is a scratchpad load, unlike the FPGA's free
+ROM rows); ``mul``/``div``/``mod`` and their float forms on a MUL unit;
+every other latency-bearing operator on an ALU.  Zero-latency,
+zero-area operations (casts) are register renames and issue nowhere.
+The loop-closing branch is *not* a DFG node: kernel-only modulo
+schedules overlap it with the last issue group (hardware loop support),
+which is why the machine requires at least one BR unit but the
+reservation table never charges it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.dfg import DFGNode
+from repro.errors import ReproError
+from repro.hw.ops import OperatorLibrary, OpSpec, _default_table
+
+__all__ = ["VLIW_OP_CLASSES", "VLIWOperatorLibrary", "VLIW4_LIBRARY",
+           "op_class"]
+
+#: Functional-unit classes of the machine description.
+VLIW_OP_CLASSES = ("alu", "mul", "mem", "br")
+
+#: Operator-table keys served by the MUL unit.
+_MUL_KEYS = frozenset({"mul", "div", "mod", "fmul", "fdiv"})
+
+
+def op_class(lib: OperatorLibrary, node: DFGNode) -> str:
+    """The functional-unit class one DFG node issues on ('' = none)."""
+    if not node.is_operator:
+        return ""
+    if node.kind in ("load", "store", "rom_load"):
+        return "mem"
+    key = lib.key_for(node)
+    if key in _MUL_KEYS:
+        return "mul"
+    spec = lib.spec(node)
+    if spec.delay == 0 and spec.rows == 0:
+        return ""  # casts: register renames, no issue slot
+    return "alu"
+
+
+def _vliw_table() -> dict[str, OpSpec]:
+    """The FPGA operator table with VLIW memory costs.
+
+    ROM lookups are scratchpad loads on a load/store unit, so they take
+    a load's latency instead of the FPGA's single-cycle on-chip table.
+    """
+    table = _default_table()
+    table["rom_load"] = OpSpec(table["load"].delay, table["rom_load"].rows)
+    return table
+
+
+@dataclass
+class VLIWOperatorLibrary(OperatorLibrary):
+    """An issue-slot machine behind the generic resource hooks.
+
+    ``mem_ports`` (inherited) is the number of MEM units, so the
+    generic ``ports=`` target modifier and memory-ablation sweeps work
+    unchanged on VLIW targets.
+    """
+
+    name: str = "vliw4"
+    table: dict[str, OpSpec] = field(default_factory=_vliw_table)
+    #: registers live in a file, not in datapath rows
+    reg_rows: float = 0.0
+    mem_ports: int = 2
+    register_file: "int | None" = 64
+    #: operations started per cycle, regardless of unit mix
+    issue_width: int = 4
+    #: general integer/logic/compare units
+    alu_slots: int = 2
+    #: multiply/divide units
+    mul_slots: int = 1
+    #: branch units (reserved for the loop-closing branch)
+    br_slots: int = 1
+    #: rotating register file (hardware modulo variable expansion)
+    rotating: bool = True
+
+    def __post_init__(self):
+        if self.issue_width < 1:
+            raise ReproError(
+                f"VLIW machine {self.name!r}: issue width must be >= 1")
+        if self.br_slots < 1:
+            raise ReproError(
+                f"VLIW machine {self.name!r}: at least one branch unit is "
+                f"required for the loop-closing branch")
+        for label, slots in (("alu", self.alu_slots), ("mul", self.mul_slots),
+                             ("mem", self.mem_ports)):
+            if slots < 1:
+                raise ReproError(
+                    f"VLIW machine {self.name!r}: {label} slot count must "
+                    f"be >= 1")
+        if self.register_file is not None and self.register_file < 1:
+            raise ReproError(
+                f"VLIW machine {self.name!r}: register file must hold at "
+                f"least one register (got {self.register_file})")
+
+    # -- resource hooks ----------------------------------------------------
+
+    def resource_slots(self) -> dict[str, int]:
+        return {"issue": self.issue_width, "alu": self.alu_slots,
+                "mul": self.mul_slots, "mem": self.mem_ports}
+
+    def node_resources(self, node: DFGNode) -> tuple[str, ...]:
+        cls = op_class(self, node)
+        if not cls:
+            return ()
+        return ("issue", cls)
+
+    # -- description -------------------------------------------------------
+
+    def describe(self) -> str:
+        rot = "rotating" if self.rotating else "non-rotating"
+        return (f"{self.issue_width}-issue VLIW: {self.alu_slots} ALU, "
+                f"{self.mul_slots} MUL, {self.mem_ports} MEM, "
+                f"{self.br_slots} BR; {self.register_file} {rot} registers")
+
+    def with_machine(self, **changes) -> "VLIWOperatorLibrary":
+        """A copy with machine-description fields replaced (validated)."""
+        return replace(self, table=dict(self.table), **changes)
+
+
+#: The default 4-issue evaluation machine (``vliw4``): 2 ALU + 1 MUL +
+#: 2 MEM + 1 BR, 64 rotating registers.
+VLIW4_LIBRARY = VLIWOperatorLibrary()

@@ -1,0 +1,124 @@
+"""Register-pressure accounting for modulo schedules on register files.
+
+The spatial FPGA datapath *synthesizes* registers, so Table 6.2 only
+prices them; a VLIW kernel must instead fit an architected register
+file, which turns pressure into a hard schedulability constraint.  Two
+classical quantities are computed from a schedule and its edge view:
+
+* **MaxLive** — the peak number of simultaneously live values in the
+  steady-state kernel under modulo execution: a value produced at
+  ``t(src) + delay`` and last consumed at ``t(dst) + II*dist`` is live
+  in every in-flight iteration, so its lifetime folds into the II-cycle
+  kernel window once per overlapped copy.  With a **rotating register
+  file** the hardware renames each copy into successive rotations, so
+  MaxLive (plus the non-rotated loop invariants) is what must fit.
+* **MVE copies** — without rotation, modulo variable expansion must
+  materialize ``ceil(lifetime / II)`` architected copies of every
+  value (Rau): the sum of those copies plus the live-in holding
+  registers is what must fit.  This is exactly the register count the
+  Table 6.2 ``registers`` column already reports for pipelined
+  designs, so the two models stay mutually consistent.
+
+:func:`register_pressure` packages both with the file capacity;
+``required`` picks the model the machine description implies.  The
+compilation pipeline bumps the II (re-entering the scheduler with a
+``min_ii`` floor) until ``required <= capacity`` — growing the II
+shrinks the overlap depth, so pressure is monotonically relieved — and
+rejects the design when even the overlap-free schedule overflows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.dfg import DFG
+from repro.hw.area import registers_pipelined
+from repro.hw.mii import EdgeView, default_edge_view
+from repro.hw.modulo import ModuloSchedule
+from repro.hw.ops import OperatorLibrary
+
+__all__ = ["PressureInfo", "max_live", "register_pressure",
+           "rotating_copies"]
+
+
+@dataclass(frozen=True)
+class PressureInfo:
+    """Register demand of one modulo schedule against one file."""
+
+    #: peak simultaneously-live values per kernel cycle (rotation model)
+    max_live: int
+    #: modulo-variable-expansion register count (non-rotating model) —
+    #: identical to the pipelined Table 6.2 ``registers`` accounting
+    mve_registers: int
+    #: architected register-file capacity (None = unbounded)
+    capacity: Optional[int]
+    #: does the file rotate (hardware modulo variable expansion)?
+    rotating: bool = True
+
+    @property
+    def required(self) -> int:
+        """Registers the schedule needs under the machine's model."""
+        return self.max_live if self.rotating else self.mve_registers
+
+    @property
+    def fits(self) -> bool:
+        return self.capacity is None or self.required <= self.capacity
+
+
+def max_live(dfg: DFG, lib: OperatorLibrary, sched: ModuloSchedule,
+             edges: Optional[EdgeView] = None) -> int:
+    """Peak live values per steady-state kernel cycle.
+
+    Each produced value's lifetime runs from the cycle its result is
+    available (``t(src) + delay``) to its last use (``max over
+    consumers of t(dst) + II*dist``); loop-invariant live-ins (register
+    self-cycles) are live across the whole kernel.  Folding every
+    lifetime into the II-cycle window — one occupancy per overlapped
+    iteration — and taking the peak over the window's cycles gives the
+    modulo-execution MaxLive.
+    """
+    edges = edges if edges is not None else default_edge_view(dfg)
+    ii = sched.ii
+    if ii <= 0:
+        return 0
+    # The edge view erases edge kinds, but only *data* flow occupies
+    # registers: constants need none, stores produce no value, and
+    # memory-ordering edges (store->x, load->store antidependences) are
+    # constraints, not uses — without this filter an antidependent
+    # store would spuriously extend a load's lifetime.
+    data_pairs = {(e.src.nid, e.dst.nid) for e in dfg.edges
+                  if e.kind == "data"}
+    start: dict[int, int] = {}
+    end: dict[int, int] = {}
+    for s, d, dist in edges:
+        if s.kind in ("const", "store") or \
+                (s.nid, d.nid) not in data_pairs:
+            continue
+        born = sched.time[s.nid] + lib.delay(s)
+        last = sched.time[d.nid] + ii * dist
+        start[s.nid] = born
+        end[s.nid] = max(end.get(s.nid, born), last)
+    occupancy = [0] * ii
+    for nid, born in start.items():
+        for t in range(born, end[nid]):
+            occupancy[t % ii] += 1
+    return max(occupancy, default=0)
+
+
+def register_pressure(dfg: DFG, lib: OperatorLibrary,
+                      sched: ModuloSchedule,
+                      edges: Optional[EdgeView] = None) -> PressureInfo:
+    """Both pressure models plus the library's capacity/rotation."""
+    edges = edges if edges is not None else default_edge_view(dfg)
+    return PressureInfo(
+        max_live=max_live(dfg, lib, sched, edges),
+        mve_registers=registers_pipelined(dfg, lib, sched, edges),
+        capacity=getattr(lib, "register_file", None),
+        rotating=bool(getattr(lib, "rotating", True)))
+
+
+def rotating_copies(lifetime: int, ii: int) -> int:
+    """``ceil(lifetime / II)`` — copies one value needs under MVE."""
+    return math.ceil(lifetime / ii) if lifetime > 0 else 0

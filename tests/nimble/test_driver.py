@@ -16,8 +16,16 @@ class TestTargets:
     def test_lookup(self):
         assert target_by_name("acev") is ACEV
         assert target_by_name("garp") is GARP
-        with pytest.raises(KeyError):
+
+    def test_unknown_target_is_a_repro_error_naming_the_choices(self):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError, match="acev"):
             target_by_name("nope")
+
+    def test_unknown_target_did_you_mean(self):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError, match="did you mean 'garp'"):
+            target_by_name("grap")
 
     def test_port_override(self):
         t = ACEV.with_mem_ports(1)

@@ -1,0 +1,101 @@
+"""The VLIW machine description and its generic resource hooks."""
+
+import pytest
+
+from repro.core.dfg import DFGNode
+from repro.errors import ReproError
+from repro.hw import ACEV_LIBRARY, res_mii
+from repro.hw.ops import OpSpec
+from repro.ir.types import U32
+from repro.vliw.machine import VLIW4_LIBRARY, VLIWOperatorLibrary, op_class
+
+
+def _node(kind, op=None, array=None):
+    return DFGNode(0, kind, U32, op=op, array=array)
+
+
+class TestOpClasses:
+    def test_memory_ops_issue_on_mem_units(self):
+        for kind in ("load", "store", "rom_load"):
+            assert op_class(VLIW4_LIBRARY, _node(kind, array="a")) == "mem"
+
+    def test_rom_lookup_is_a_scratchpad_load_on_vliw(self):
+        """The FPGA's free on-chip ROM becomes a real load: latency and a
+        MEM slot.  (This is why des-hw loses its des-mem edge on vliw4.)"""
+        rom = _node("rom_load", array="t")
+        assert VLIW4_LIBRARY.node_resources(rom) == ("issue", "mem")
+        assert VLIW4_LIBRARY.delay(rom) == VLIW4_LIBRARY.table["load"].delay
+        # ...while ACEV keeps it port-free
+        assert ACEV_LIBRARY.node_resources(rom) == ()
+
+    def test_multiply_class(self):
+        for op in ("mul", "div", "mod"):
+            assert op_class(VLIW4_LIBRARY, _node("binop", op=op)) == "mul"
+
+    def test_alu_class(self):
+        for op in ("add", "xor", "shl", "lt"):
+            assert op_class(VLIW4_LIBRARY, _node("binop", op=op)) == "alu"
+        assert op_class(VLIW4_LIBRARY, _node("select")) == "alu"
+        assert op_class(VLIW4_LIBRARY, _node("inc", op="add")) == "alu"
+
+    def test_casts_and_non_operators_issue_nowhere(self):
+        assert VLIW4_LIBRARY.node_resources(_node("cast")) == ()
+        assert VLIW4_LIBRARY.node_resources(_node("reg")) == ()
+        assert VLIW4_LIBRARY.node_resources(_node("const")) == ()
+
+    def test_every_issuing_op_takes_an_issue_slot(self):
+        assert VLIW4_LIBRARY.node_resources(_node("binop", op="add")) == \
+            ("issue", "alu")
+        assert VLIW4_LIBRARY.node_resources(_node("binop", op="mul")) == \
+            ("issue", "mul")
+
+
+class TestResourceModel:
+    def test_slots_describe_the_machine(self):
+        assert VLIW4_LIBRARY.resource_slots() == \
+            {"issue": 4, "alu": 2, "mul": 1, "mem": 2}
+
+    def test_acev_is_the_degenerate_single_resource_case(self):
+        assert ACEV_LIBRARY.resource_slots() == {"mem": 2}
+        assert ACEV_LIBRARY.node_resources(_node("load", array="a")) == \
+            ("mem",)
+        assert ACEV_LIBRARY.node_resources(_node("binop", op="add")) == ()
+
+    def test_res_mii_takes_the_scarcest_resource(self):
+        import repro.core.dfg as dfgmod
+        g = dfgmod.DFG()
+        for _ in range(6):
+            n = g.add_node(kind="binop", ty=U32, op="mul")
+        # 6 muls on 1 MUL unit: ResMII 6 even though issue width fits 2/cy
+        assert res_mii(g, VLIW4_LIBRARY) == 6
+        # the same graph on ACEV is unconstrained (spatial multipliers)
+        assert res_mii(g, ACEV_LIBRARY) == 1
+
+    def test_issue_width_bounds_res_mii(self):
+        import repro.core.dfg as dfgmod
+        g = dfgmod.DFG()
+        for _ in range(9):
+            g.add_node(kind="binop", ty=U32, op="add")
+        wide = VLIW4_LIBRARY.with_machine(alu_slots=9)
+        # 9 single-cycle ops over a 4-wide machine: ceil(9/4) = 3
+        assert res_mii(g, wide) == 3
+
+
+class TestValidation:
+    def test_machine_shape_is_validated(self):
+        with pytest.raises(ReproError, match="issue width"):
+            VLIWOperatorLibrary(issue_width=0)
+        with pytest.raises(ReproError, match="branch unit"):
+            VLIW4_LIBRARY.with_machine(br_slots=0)
+        with pytest.raises(ReproError, match="mul slot"):
+            VLIW4_LIBRARY.with_machine(mul_slots=0)
+
+    def test_with_machine_is_a_fresh_copy(self):
+        wide = VLIW4_LIBRARY.with_machine(issue_width=8)
+        assert wide.issue_width == 8 and VLIW4_LIBRARY.issue_width == 4
+        wide.table["add"] = OpSpec(9, 9)
+        assert VLIW4_LIBRARY.table["add"].delay == 1
+
+    def test_describe_names_the_shape(self):
+        text = VLIW4_LIBRARY.describe()
+        assert "4-issue" in text and "64 rotating registers" in text
