@@ -18,6 +18,9 @@ Commands
                 write a standardized ``BENCH_*.json`` record; in
                 ``--quick`` mode also byte-checks the formatted tables
                 against the golden fixtures;
+``compile``     compile a ``.lang`` source kernel (see :mod:`repro.lang`)
+                through the pipeline: diagnostics, optional functional
+                verification, and original/squash hardware estimates;
 ``profile``     Table 1.1-style loop profile of one benchmark;
 ``squash``      transform one benchmark kernel, verify it, and report the
                 hardware estimate;
@@ -75,8 +78,14 @@ def _cmd_tables(args) -> int:
     needs_sweep = any(want(x) for x in
                       ("6.2", "6.3", "fig6.1", "fig6.2", "fig6.3", "fig6.4"))
     if needs_sweep:
+        kernels = None
+        if args.source:
+            from repro.lang.loader import lang_spec
+            from repro.workloads import table_6_1_benchmarks
+            kernels = [bm.name for bm in table_6_1_benchmarks()]
+            kernels += [lang_spec(path) for path in args.source]
         sweep = run_table_6_2(factors, args.target, jobs=args.jobs,
-                              scheduler=args.scheduler)
+                              scheduler=args.scheduler, kernels=kernels)
         if want("6.2"):
             artifacts["table_6_2"] = format_table_6_2(sweep)
         norm = run_table_6_3(sweep)
@@ -107,8 +116,17 @@ def _cmd_explore(args) -> int:
         format_pareto, format_skips, format_summary,
     )
 
+    kernels = list(args.kernel or [])
+    if args.source:
+        from repro.lang.loader import lang_spec
+        kernels += [lang_spec(path) for path in args.source]
+    if not kernels:
+        print("explore needs at least one --kernel or --source",
+              file=sys.stderr)
+        return 2
+
     space = DesignSpace(
-        kernels=tuple(args.kernel),
+        kernels=tuple(kernels),
         variants=tuple(args.variants),
         factors=tuple(args.factors),
         jam_factors=tuple(args.jam_factors),
@@ -178,6 +196,71 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_compile(args) -> int:
+    import numpy as np
+    from repro.analysis import find_kernel_nests
+    from repro.core import unroll_and_squash
+    from repro.errors import LangError
+    from repro.ir import program_to_str, run_program
+    from repro.lang import compile_file
+    from repro.nimble import compile_original, compile_squash, target_by_name
+
+    try:
+        prog, _ = compile_file(args.file)
+    except OSError as exc:
+        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+        return 1
+    except LangError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    print(f"{args.file}: kernel {prog.name!r} ({len(prog.params)} params, "
+          f"{len(prog.arrays)} arrays, {len(prog.locals)} locals)")
+    if args.show_ir:
+        print(program_to_str(prog), end="")
+
+    nests = find_kernel_nests(prog)
+    if not nests:
+        print("no '#pragma kernel' loop nest found — nothing to compile",
+              file=sys.stderr)
+        return 1
+    nest = nests[0]
+
+    params: dict[str, float] = {}
+    for spec in args.param or []:
+        name, sep, value = spec.partition("=")
+        if not sep or name not in prog.params:
+            known = ", ".join(prog.params) or "none"
+            print(f"bad --param {spec!r} (declared params: {known})",
+                  file=sys.stderr)
+            return 1
+        params[name] = (float(value) if prog.params[name].is_float
+                        else int(value, 0))
+
+    missing = [p for p in prog.params if p not in params]
+    if missing:
+        print("  functional check skipped (unbound params: "
+              + ", ".join(missing) + ")")
+    else:
+        res = unroll_and_squash(prog, nest, args.ds)
+        ref = run_program(prog, params=params)
+        got = run_program(res.program, params=params)
+        for name in prog.output_arrays():
+            if not np.array_equal(ref.arrays[name], got.arrays[name]):
+                print(f"FUNCTIONAL MISMATCH in {name}", file=sys.stderr)
+                return 1
+        print(f"  squash({args.ds}) verified (outputs bit-identical to "
+              "the original)")
+
+    target = target_by_name(args.target)
+    base = compile_original(prog, nest, target)
+    point = compile_squash(prog, nest, args.ds, target, base_ii=base.ii)
+    print(f"  original  : II={base.ii}, area={base.area_rows:.0f} rows, "
+          f"registers={base.registers}")
+    print(f"  squash({args.ds}) : II={point.ii}, area={point.area_rows:.0f} "
+          f"rows, registers={point.registers}")
+    return 0
+
+
 def _cmd_squash(args) -> int:
     import numpy as np
     from repro.analysis import find_kernel_nests
@@ -236,13 +319,18 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--scheduler", default="",
                    help="scheduling strategy for pipelined variants "
                         "(default: the target's; see repro.hw.schedulers)")
+    t.add_argument("--source", action="append", default=None,
+                   help="also sweep a .lang source kernel (repeatable)")
     t.set_defaults(fn=_cmd_tables)
 
     e = sub.add_parser(
         "explore", help="explore a (kernel x variant x factor x target) "
                         "design space")
-    e.add_argument("--kernel", action="append", required=True,
+    e.add_argument("--kernel", action="append", default=None,
                    help="benchmark kernel (repeatable; see `repro list`)")
+    e.add_argument("--source", action="append", default=None,
+                   help=".lang source kernel file (repeatable; compiled "
+                        "through the repro.lang front-end)")
     e.add_argument("--variants", nargs="+",
                    default=["original", "pipelined", "squash", "jam"],
                    choices=["original", "pipelined", "squash", "jam",
@@ -301,6 +389,19 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("benchmark")
     pr.add_argument("--threshold", type=float, default=0.01)
     pr.set_defaults(fn=_cmd_profile)
+
+    c = sub.add_parser(
+        "compile", help="compile a .lang source file through the pipeline")
+    c.add_argument("file", help="path to a .lang source file")
+    c.add_argument("--ds", type=int, default=4)
+    c.add_argument("--target", default="acev")
+    c.add_argument("--param", action="append", default=None,
+                   metavar="NAME=VALUE",
+                   help="bind a kernel parameter (repeatable; enables the "
+                        "functional check when all params are bound)")
+    c.add_argument("--show-ir", action="store_true",
+                   help="print the lowered IR (valid repro.lang source)")
+    c.set_defaults(fn=_cmd_compile)
 
     sq = sub.add_parser("squash", help="squash one kernel and price it")
     sq.add_argument("benchmark")

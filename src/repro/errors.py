@@ -38,6 +38,29 @@ class LegalityError(ReproError):
         self.reasons: list[str] = reasons or []
 
 
+class LangError(ReproError):
+    """A diagnostic from the :mod:`repro.lang` source front-end.
+
+    Carries the source position (``filename``, ``line``, ``col``) and a
+    rendered caret snippet so parse/sema failures point at the offending
+    source text instead of surfacing as bare ``SyntaxError``/``KeyError``
+    tracebacks.  Constructed via :func:`repro.lang.diagnostics.lang_error`.
+    """
+
+    def __init__(self, message: str, filename: str = "<lang>",
+                 line: int = 0, col: int = 0, snippet: str = ""):
+        self.bare_message = message
+        self.filename = filename
+        self.line = line
+        self.col = col
+        self.snippet = snippet
+        where = f"{filename}:{line}:{col}: " if line else f"{filename}: "
+        full = where + message
+        if snippet:
+            full += "\n" + snippet
+        super().__init__(full)
+
+
 class ScheduleError(ReproError):
     """The hardware scheduler could not produce a legal schedule."""
 

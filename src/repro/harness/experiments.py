@@ -85,10 +85,9 @@ def format_table_6_1(benchmarks) -> str:
 # ---------------------------------------------------------------------------
 
 #: Process-local memo on top of the persistent cache: same (factors,
-#: target, scheduler) arguments return the *same* VariantSet objects
-#: within one process, as the old ``lru_cache`` did.
-_SWEEP_MEMO: dict[tuple[tuple[int, ...], str, str],
-                  dict[str, VariantSet]] = {}
+#: target, scheduler, kernels) arguments return the *same* VariantSet
+#: objects within one process, as the old ``lru_cache`` did.
+_SWEEP_MEMO: dict[tuple, dict[str, VariantSet]] = {}
 
 #: Alias kept for callers of the old private helper.
 _decode_target = decode_target
@@ -96,19 +95,25 @@ _decode_target = decode_target
 
 def _sweep(factors: tuple[int, ...], target_spec: str,
            jobs: Optional[int] = None,
-           scheduler: str = "") -> dict[str, VariantSet]:
+           scheduler: str = "",
+           kernels: Optional[tuple[str, ...]] = None
+           ) -> dict[str, VariantSet]:
     """Run the Table 6.2 sweep through the exploration engine.
 
     Produces exactly the points ``compile_variants`` would — original,
     pipelined, squash(DS), jam(DS) per kernel, with squash/jam costed
     against the original II — but evaluated in parallel and memoized in
     the persistent result cache.  ``scheduler`` selects the strategy for
-    every pipelined variant ("" = the target's default).
+    every pipelined variant ("" = the target's default); ``kernels``
+    overrides the Table 6.1 suite (benchmark names or ``lang:`` source
+    specs).
     """
     from repro.explore import ResultCache, evaluate, table_sweep_space
 
-    kernels = [bm.name for bm in table_6_1_benchmarks()]
-    space = table_sweep_space(kernels, factors, target_spec, scheduler)
+    if kernels is None:
+        kernels = tuple(bm.name for bm in table_6_1_benchmarks())
+    space = table_sweep_space(list(kernels), factors, target_spec,
+                              scheduler)
     result = evaluate(space.enumerate(), jobs=jobs, cache=ResultCache())
     # On register-file targets (vliw4) deep squash/jam factors
     # legitimately overflow the file — those rejections stay in the
@@ -149,18 +154,23 @@ def _sweep(factors: tuple[int, ...], target_spec: str,
 def run_table_6_2(factors: Sequence[int] = (2, 4, 8, 16),
                   target_spec: str = "acev",
                   jobs: Optional[int] = None,
-                  scheduler: str = "") -> dict[str, VariantSet]:
+                  scheduler: str = "",
+                  kernels: Optional[Sequence[str]] = None
+                  ) -> dict[str, VariantSet]:
     """The full synthesis sweep (parallel; cached in-process + on disk).
 
     ``jobs`` only steers how the sweep is *computed*; results are
     identical for any worker count, so the memo is keyed by
-    (factors, target, scheduler) alone and later calls with a different
-    ``jobs`` return the memoized sweep.
+    (factors, target, scheduler, kernels) alone and later calls with a
+    different ``jobs`` return the memoized sweep.  ``kernels`` replaces
+    the default Table 6.1 suite — entries may be registered benchmark
+    names or ``lang:<path>#<digest>`` source-kernel specs.
     """
-    key = (tuple(factors), target_spec, scheduler)
+    kernels = tuple(kernels) if kernels is not None else None
+    key = (tuple(factors), target_spec, scheduler, kernels)
     if key not in _SWEEP_MEMO:
         _SWEEP_MEMO[key] = _sweep(tuple(factors), target_spec, jobs=jobs,
-                                  scheduler=scheduler)
+                                  scheduler=scheduler, kernels=kernels)
     return _SWEEP_MEMO[key]
 
 

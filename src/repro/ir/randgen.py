@@ -29,11 +29,48 @@ from repro.ir.builder import ProgramBuilder
 from repro.ir.nodes import BinOp, Const, Expr, Load, Select, UnOp, Var, as_expr
 from repro.ir.types import F64, I16, I32, I64, I8, U16, U32, U8, ScalarType
 
-__all__ = ["RandConfig", "random_program", "random_squashable_nest", "SquashNestSpec"]
+__all__ = ["RandConfig", "random_program", "random_squashable_nest",
+           "SquashNestSpec", "ValueDomain"]
 
 _INT_CHOICES = (U8, U16, I16, I32, U32)
 _ARITH = ("add", "sub", "mul", "and", "or", "xor")
 _SHIFTS = ("shl", "shr")
+
+
+@dataclass(frozen=True)
+class ValueDomain:
+    """Value/shape sampling shared by the nest generators.
+
+    Both :func:`random_squashable_nest` (IR-level) and the source-level
+    generator in :mod:`repro.lang.fuzz` draw their input types, array
+    contents, ROM tables, operators, and constants from one domain, so
+    the two fuzzers exercise the same numeric space and differential
+    findings transfer between them.
+    """
+
+    in_types: tuple[ScalarType, ...] = (U8, U16, U32)
+    arith_ops: tuple[str, ...] = _ARITH
+    rom_size: int = 256
+    const_lo: int = 1
+    const_hi: int = 64
+
+    def pick_in_type(self, rng: random.Random) -> ScalarType:
+        return rng.choice(self.in_types)
+
+    def sample_init(self, rng: random.Random, ty: ScalarType,
+                    n: int) -> list[int]:
+        """Contents for an input array of ``ty`` (16-bit capped so u32
+        seeds stay comfortably inside every backend's literal paths)."""
+        return [rng.randrange(0, 1 << min(ty.bits, 16)) for _ in range(n)]
+
+    def sample_rom(self, rng: random.Random) -> list[int]:
+        return [rng.randrange(0, 256) for _ in range(self.rom_size)]
+
+    def pick_op(self, rng: random.Random) -> str:
+        return rng.choice(self.arith_ops)
+
+    def sample_const(self, rng: random.Random) -> int:
+        return rng.randrange(self.const_lo, self.const_hi)
 
 
 @dataclass
@@ -187,7 +224,9 @@ class SquashNestSpec:
     seed_arrays: int = 2
 
 
-def random_squashable_nest(rng: random.Random, spec: SquashNestSpec | None = None):
+def random_squashable_nest(rng: random.Random,
+                           spec: SquashNestSpec | None = None,
+                           domain: ValueDomain | None = None):
     """Generate ``(program, outer_loop)`` satisfying the squash requirements.
 
     Construction guarantees (mirroring thesis §4.1):
@@ -199,21 +238,20 @@ def random_squashable_nest(rng: random.Random, spec: SquashNestSpec | None = Non
       (the hard case squash targets).
     """
     spec = spec or SquashNestSpec()
+    dom = domain or ValueDomain()
     r = rng
     b = ProgramBuilder(f"nest_{r.randrange(1 << 30)}")
     m, n = spec.m, spec.n
 
     ins = []
     for k in range(spec.seed_arrays):
-        ty = r.choice((U8, U16, U32))
-        init = np.array([r.randrange(0, 1 << min(ty.bits, 16)) for _ in range(m)],
-                        dtype=ty.numpy_dtype())
+        ty = dom.pick_in_type(r)
+        init = np.array(dom.sample_init(r, ty, m), dtype=ty.numpy_dtype())
         ins.append(b.array(f"in{k}", (m,), ty, init=init))
     out = b.array("out", (m,), U32, output=True)
     rom = None
     if spec.use_rom:
-        rom = b.rom("rom", np.array([r.randrange(0, 256) for _ in range(256)],
-                                    dtype=np.uint8), U8)
+        rom = b.rom("rom", np.array(dom.sample_rom(r), dtype=np.uint8), U8)
 
     state = [b.local(f"x{k}", U32) for k in range(spec.n_state)]
 
@@ -227,9 +265,9 @@ def random_squashable_nest(rng: random.Random, spec: SquashNestSpec | None = Non
             if spec.use_outer_iv:
                 exprs.append(i)
             for t in range(spec.n_ops):
-                op = r.choice(_ARITH)
+                op = dom.pick_op(r)
                 a = r.choice(exprs)
-                bb = r.choice(exprs + [Const(r.randrange(1, 64), U32)])
+                bb = r.choice(exprs + [Const(dom.sample_const(r), U32)])
                 e: Expr = BinOp(op, a, bb)
                 if rom is not None and r.random() < 0.35:
                     e = rom[BinOp("and", e, Const(255, I32))] + e

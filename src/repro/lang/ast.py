@@ -1,0 +1,203 @@
+"""Typed AST for the ``repro.lang`` source language.
+
+Every node carries a :class:`~repro.lang.diagnostics.Span` so semantic
+diagnostics point back into the source.  Expression nodes get their
+``ty`` filled in by :mod:`repro.lang.sema` (the same
+:class:`~repro.ir.types.ScalarType` singletons the IR uses, with the
+same C-like unification rules), which is what lets lowering build IR
+nodes without re-deriving types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.ir.types import ScalarType
+from repro.lang.diagnostics import Span
+
+__all__ = [
+    "Node", "LExpr", "LLit", "LVar", "LBin", "LUn", "LIndex", "LSelect",
+    "LCast", "LCall",
+    "LStmt", "LAssign", "LStore", "LFor", "LIf",
+    "LParam", "LArray", "LScalar", "LKernel",
+]
+
+
+@dataclass
+class Node:
+    """Base: every AST node records its source span."""
+
+    span: Span
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LExpr(Node):
+    """Base expression; ``ty`` is annotated by sema."""
+
+    ty: Optional[ScalarType] = field(default=None, init=False)
+
+
+@dataclass
+class LLit(LExpr):
+    """Numeric literal; ``suffix`` is the explicit type, if any."""
+
+    value: Union[int, float, bool]
+    suffix: Optional[ScalarType] = None
+
+
+@dataclass
+class LVar(LExpr):
+    """Scalar read."""
+
+    name: str
+
+
+@dataclass
+class LBin(LExpr):
+    """Binary operation (IR op spelling: ``add``, ``shl``, ``lt``, ...)."""
+
+    op: str
+    lhs: LExpr
+    rhs: LExpr
+    op_span: Optional[Span] = None
+
+
+@dataclass
+class LUn(LExpr):
+    """Unary operation (``neg``, ``not``)."""
+
+    op: str
+    operand: LExpr
+
+
+@dataclass
+class LIndex(LExpr):
+    """Array element read ``name[i]...[k]``."""
+
+    name: str
+    index: list[LExpr]
+
+
+@dataclass
+class LSelect(LExpr):
+    """Ternary ``cond ? a : b``."""
+
+    cond: LExpr
+    iftrue: LExpr
+    iffalse: LExpr
+
+
+@dataclass
+class LCast(LExpr):
+    """Explicit conversion ``(ty)expr``."""
+
+    target: ScalarType
+    operand: LExpr
+
+
+@dataclass
+class LCall(LExpr):
+    """Intrinsic call — ``min(a, b)`` / ``max(a, b)``."""
+
+    fn: str
+    args: list[LExpr]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LStmt(Node):
+    """Base statement."""
+
+
+@dataclass
+class LAssign(LStmt):
+    """Scalar assignment ``name = expr;``."""
+
+    name: str
+    expr: LExpr
+    name_span: Optional[Span] = None
+
+
+@dataclass
+class LStore(LStmt):
+    """Array store ``name[i]... = expr;``."""
+
+    name: str
+    index: list[LExpr]
+    value: LExpr
+    name_span: Optional[Span] = None
+
+
+@dataclass
+class LFor(LStmt):
+    """Counted loop; ``kernel`` mirrors the ``#pragma kernel`` annotation."""
+
+    var: str
+    lo: LExpr
+    hi: LExpr
+    step: int
+    body: list[LStmt]
+    kernel: bool = False
+    var_span: Optional[Span] = None
+
+
+@dataclass
+class LIf(LStmt):
+    """Structured conditional."""
+
+    cond: LExpr
+    then: list[LStmt]
+    orelse: list[LStmt] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Declarations / compilation unit
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LParam(Node):
+    """``param <ty> <name>;`` — a runtime scalar parameter."""
+
+    name: str
+    ty: ScalarType
+
+
+@dataclass
+class LArray(Node):
+    """``[rom] [output] <ty> <name>[d]... [= {...}];``"""
+
+    name: str
+    ty: ScalarType
+    shape: list[int]
+    rom: bool = False
+    output: bool = False
+    init: Optional[list] = None
+    init_span: Optional[Span] = None
+
+
+@dataclass
+class LScalar(Node):
+    """``<ty> <name> [= expr];`` — a local scalar declaration."""
+
+    name: str
+    ty: ScalarType
+    init: Optional[LExpr] = None
+
+
+@dataclass
+class LKernel(Node):
+    """One compilation unit: ``kernel <name> { decls... stmts... }``."""
+
+    name: str
+    params: list[LParam]
+    arrays: list[LArray]
+    scalars: list[LScalar]
+    body: list[LStmt]

@@ -1,0 +1,244 @@
+"""Tokenizer for the ``repro.lang`` loop-nest language.
+
+Produces a flat token stream with 1-based line/column spans for every
+token, so the parser and semantic pass can pin diagnostics to source
+positions.  Handles ``//`` and ``/* */`` comments, ``#pragma`` lines,
+quoted kernel names, hex/decimal/float literals, and typed literal
+suffixes (``255u8``, ``1.5f32``); malformed input (unterminated string
+or block comment, unknown suffix, stray characters) raises
+:class:`~repro.errors.LangError` with a caret snippet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.ir.types import ALL_TYPES, ScalarType
+from repro.lang.diagnostics import SourceText, Span, lang_error, suggest
+
+__all__ = ["Token", "tokenize", "KEYWORDS", "TYPE_NAMES"]
+
+#: Reserved words (cannot be used as identifiers in declarations).
+KEYWORDS = frozenset({
+    "kernel", "param", "rom", "output", "for", "if", "else",
+    "true", "false",
+})
+
+#: Scalar type spellings (``i8`` ... ``f64``, ``bool``).
+TYPE_NAMES = {t.name: t for t in ALL_TYPES}
+
+#: Multi-character operators, longest first (order matters for matching).
+_OPS2 = ("<<", ">>", "<=", ">=", "==", "!=", "++", "--", "+=", "-=")
+_OPS1 = "{}()[];,=<>+-*/%&|^~?:"
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_HEX = frozenset("0123456789abcdefABCDEF")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme.  ``kind`` is ``ident``/``int``/``float``/``string``/
+    ``pragma``/``op``/``eof``; ``ty`` is the suffix type of a typed
+    literal (``None`` for bare literals)."""
+
+    kind: str
+    value: Union[str, int, float]
+    span: Span
+    ty: Optional[ScalarType] = None
+
+    @property
+    def text(self) -> str:
+        return str(self.value)
+
+
+class _Lexer:
+    def __init__(self, source: SourceText):
+        self.src = source
+        self.text = source.text
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+        self.tokens: list[Token] = []
+
+    # -- position bookkeeping -------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        p = self.pos + offset
+        return self.text[p] if p < len(self.text) else ""
+
+    def _advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self.pos < len(self.text):
+                if self.text[self.pos] == "\n":
+                    self.line += 1
+                    self.col = 1
+                else:
+                    self.col += 1
+                self.pos += 1
+
+    def _span(self, start_line: int, start_col: int, length: int) -> Span:
+        return Span(start_line, start_col, length)
+
+    def _error(self, message: str, span: Optional[Span] = None):
+        raise lang_error(self.src, message,
+                         span or Span(self.line, self.col, 1))
+
+    # -- scanners ------------------------------------------------------------
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.text):
+            c = self._peek()
+            if c in " \t\r\n":
+                self._advance()
+            elif c == "/" and self._peek(1) == "/":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif c == "/" and self._peek(1) == "*":
+                open_span = Span(self.line, self.col, 2)
+                self._advance(2)
+                while self.pos < len(self.text):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    self._error("unterminated block comment", open_span)
+            else:
+                return
+
+    def _read_ident(self) -> str:
+        start = self.pos
+        while self._peek() in _IDENT_CONT:
+            self._advance()
+        return self.text[start:self.pos]
+
+    def _lex_pragma(self) -> None:
+        line, col = self.line, self.col
+        self._advance()  # '#'
+        if self._peek() not in _IDENT_START:
+            self._error("expected 'pragma' after '#'",
+                        Span(line, col, 1))
+        word = self._read_ident()
+        if word != "pragma":
+            self._error(f"unknown directive '#{word}' (only '#pragma' "
+                        f"is recognized)", Span(line, col, len(word) + 1))
+        self._skip_trivia_same_line()
+        if self._peek() not in _IDENT_START:
+            self._error("expected an annotation name after '#pragma'",
+                        Span(self.line, self.col, 1))
+        nline, ncol = self.line, self.col
+        name = self._read_ident()
+        self.tokens.append(Token("pragma", name,
+                                 Span(nline, ncol, len(name))))
+
+    def _skip_trivia_same_line(self) -> None:
+        while self._peek() in " \t":
+            self._advance()
+
+    def _lex_string(self) -> None:
+        line, col = self.line, self.col
+        self._advance()  # opening quote
+        start = self.pos
+        while True:
+            c = self._peek()
+            if c == "" or c == "\n":
+                self._error("unterminated string literal",
+                            Span(line, col, self.pos - start + 1))
+            if c == '"':
+                break
+            self._advance()
+        value = self.text[start:self.pos]
+        self._advance()  # closing quote
+        self.tokens.append(Token("string", value,
+                                 Span(line, col, len(value) + 2)))
+
+    def _lex_number(self) -> None:
+        line, col = self.line, self.col
+        start = self.pos
+        is_float = False
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            if self._peek() not in _HEX:
+                self._error("malformed hex literal",
+                            Span(line, col, self.pos - start + 1))
+            while self._peek() in _HEX:
+                self._advance()
+        else:
+            while self._peek().isdigit():
+                self._advance()
+            if self._peek() == "." and self._peek(1).isdigit():
+                is_float = True
+                self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+            if self._peek() in "eE" and (
+                    self._peek(1).isdigit()
+                    or (self._peek(1) in "+-" and self._peek(2).isdigit())):
+                is_float = True
+                self._advance()
+                if self._peek() in "+-":
+                    self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+        digits = self.text[start:self.pos]
+        ty = None
+        if self._peek() in _IDENT_START:
+            sline, scol = self.line, self.col
+            suffix = self._read_ident()
+            ty = TYPE_NAMES.get(suffix)
+            if ty is None:
+                self._error(
+                    f"unknown literal type suffix {suffix!r}"
+                    + suggest(suffix, TYPE_NAMES),
+                    Span(sline, scol, len(suffix)))
+            if is_float != ty.is_float:
+                self._error(
+                    f"literal {digits!r} does not match suffix type "
+                    f"{suffix!r}",
+                    Span(line, col, self.pos - start))
+        span = Span(line, col, self.pos - start)
+        if is_float:
+            self.tokens.append(Token("float", float(digits), span, ty))
+        else:
+            base = 16 if digits[:2].lower() == "0x" else 10
+            value = int(digits, base) if base == 16 else int(digits)
+            self.tokens.append(Token("int", value, span, ty))
+
+    def run(self) -> list[Token]:
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.text):
+                break
+            c = self._peek()
+            line, col = self.line, self.col
+            if c == "#":
+                self._lex_pragma()
+            elif c == '"':
+                self._lex_string()
+            elif c.isdigit():
+                self._lex_number()
+            elif c in _IDENT_START:
+                name = self._read_ident()
+                self.tokens.append(Token("ident", name,
+                                         Span(line, col, len(name))))
+            else:
+                two = self.text[self.pos:self.pos + 2]
+                if two in _OPS2:
+                    self._advance(2)
+                    self.tokens.append(Token("op", two, Span(line, col, 2)))
+                elif c in _OPS1:
+                    self._advance()
+                    self.tokens.append(Token("op", c, Span(line, col, 1)))
+                else:
+                    self._error(f"unexpected character {c!r}")
+        self.tokens.append(Token("eof", "", Span(self.line, self.col, 1)))
+        return self.tokens
+
+
+def tokenize(source: SourceText) -> list[Token]:
+    """Tokenize ``source``; raises :class:`~repro.errors.LangError` on
+    malformed input."""
+    return _Lexer(source).run()

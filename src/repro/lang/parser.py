@@ -1,0 +1,512 @@
+"""Recursive-descent parser for the ``repro.lang`` language.
+
+The grammar mirrors :func:`repro.ir.printer.program_to_str` output (so the
+printer round-trips) plus a few conveniences for hand-written sources
+(scalar initializers, ``+=`` steps, free-form whitespace)::
+
+    unit    := kernel EOF
+    kernel  := "kernel" (IDENT | STRING) "{" decl* stmt* "}"
+    decl    := "param" TYPE IDENT ";"
+             | ("rom"|"output")* TYPE IDENT ("[" INT "]")+ arrinit? ";"
+             | TYPE IDENT ("=" expr)? ";"
+    arrinit := "=" "{" num ("," num)* ","? "}"
+    stmt    := ("#pragma" "kernel")? "for" "(" IDENT "=" expr ";"
+                   IDENT ("<"|">") expr ";" step ")" block
+             | "if" "(" expr ")" block ("else" (block | if-stmt))?
+             | IDENT ("[" expr "]")* "=" expr ";"
+    step    := IDENT "++" | IDENT "--" | IDENT ("+="|"-=") ("-")? INT
+    block   := "{" stmt* "}"
+
+Expressions use the C precedence ladder the printer emits (ternary lowest,
+then ``|  ^  &  ==/!=  relational  shifts  +/-  *%/  unary/cast  primary``)
+with ``min(a, b)``/``max(a, b)`` as intrinsic calls.  All binary operators
+associate left.  A unary minus directly on a numeric literal folds into a
+negative literal (the printer's ``-(5)`` spelling denotes an explicit
+``neg`` node instead).
+
+All failures raise :class:`~repro.errors.LangError` with source spans.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang import ast as A
+from repro.lang.diagnostics import SourceText, Span, lang_error, suggest
+from repro.lang.lexer import TYPE_NAMES, Token, tokenize
+
+__all__ = ["parse"]
+
+#: Binary operators by precedence level (low → high), with IR spellings.
+_BINARY_LEVELS = (
+    (("|", "or"),),
+    (("^", "xor"),),
+    (("&", "and"),),
+    (("==", "eq"), ("!=", "ne")),
+    (("<", "lt"), ("<=", "le"), (">", "gt"), (">=", "ge")),
+    (("<<", "shl"), (">>", "shr")),
+    (("+", "add"), ("-", "sub")),
+    (("*", "mul"), ("/", "div"), ("%", "mod")),
+)
+
+_INTRINSICS = frozenset({"min", "max"})
+
+#: Words that can never name a variable/array.  ``param``/``rom``/``output``
+#: are *contextual* qualifiers — they only act as keywords at a declaration
+#: head when followed by a type name, so arrays named ``rom`` stay legal
+#: (the random nest generator emits one).
+_RESERVED = frozenset({"kernel", "for", "if", "else", "true", "false"})
+
+
+class _Parser:
+    def __init__(self, source: SourceText):
+        self.src = source
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        p = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[p]
+
+    def _next(self) -> Token:
+        tok = self._peek()
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def _at_op(self, *values: str) -> bool:
+        tok = self._peek()
+        return tok.kind == "op" and tok.value in values
+
+    def _at_kw(self, *words: str) -> bool:
+        tok = self._peek()
+        return tok.kind == "ident" and tok.value in words
+
+    def _error(self, message: str, span: Optional[Span] = None):
+        raise lang_error(self.src, message, span or self._peek().span)
+
+    def _describe(self, tok: Token) -> str:
+        if tok.kind == "eof":
+            return "end of input"
+        return f"{tok.text!r}"
+
+    def _expect_op(self, value: str, context: str) -> Token:
+        if not self._at_op(value):
+            self._error(f"expected {value!r} {context}, "
+                        f"found {self._describe(self._peek())}")
+        return self._next()
+
+    def _expect_ident(self, context: str) -> Token:
+        tok = self._peek()
+        if tok.kind != "ident":
+            self._error(f"expected an identifier {context}, "
+                        f"found {self._describe(tok)}")
+        if tok.value in _RESERVED or tok.value in TYPE_NAMES:
+            self._error(f"{tok.value!r} is a reserved word and cannot be "
+                        f"used as a name {context}")
+        return self._next()
+
+    def _expect_type(self, context: str):
+        tok = self._peek()
+        if tok.kind != "ident" or tok.value not in TYPE_NAMES:
+            name = tok.text if tok.kind == "ident" else self._describe(tok)
+            hint = suggest(tok.text, TYPE_NAMES) if tok.kind == "ident" else ""
+            self._error(f"expected a type name {context}, found {name!r}"
+                        + hint, tok.span)
+        self._next()
+        return TYPE_NAMES[tok.value], tok
+
+    # -- unit / declarations -------------------------------------------------
+
+    def parse_unit(self) -> A.LKernel:
+        kw = self._peek()
+        if not self._at_kw("kernel"):
+            self._error(f"expected 'kernel' at top level, "
+                        f"found {self._describe(kw)}")
+        self._next()
+        name_tok = self._peek()
+        if name_tok.kind == "string":
+            name = str(name_tok.value)
+            self._next()
+        else:
+            name = self._expect_ident("as the kernel name").text
+        self._expect_op("{", "to open the kernel body")
+
+        params: list[A.LParam] = []
+        arrays: list[A.LArray] = []
+        scalars: list[A.LScalar] = []
+        while self._starts_decl():
+            self._parse_decl(params, arrays, scalars)
+
+        body: list[A.LStmt] = []
+        while not self._at_op("}"):
+            if self._peek().kind == "eof":
+                self._error("unexpected end of input inside kernel body "
+                            "(missing '}')")
+            if self._starts_decl():
+                self._error("declarations must precede statements in the "
+                            "kernel body", self._peek().span)
+            body.append(self.parse_stmt())
+        close = self._next()  # '}'
+        if self._peek().kind != "eof":
+            self._error("unexpected trailing input after the kernel body")
+        span = kw.span.merge(close.span)
+        return A.LKernel(span, name, params, arrays, scalars, body)
+
+    def _starts_decl(self) -> bool:
+        """A declaration starts with a type name, or with qualifier words
+        that lead (possibly via more qualifiers) to a type name."""
+        tok = self._peek()
+        if tok.kind != "ident":
+            return False
+        if tok.value in TYPE_NAMES:
+            return True
+        offset = 0
+        while (self._peek(offset).kind == "ident"
+               and self._peek(offset).value in ("param", "rom", "output")):
+            offset += 1
+        return (offset > 0 and self._peek(offset).kind == "ident"
+                and self._peek(offset).value in TYPE_NAMES)
+
+    def _parse_decl(self, params, arrays, scalars) -> None:
+        start = self._peek()
+        if self._at_kw("param"):
+            self._next()
+            ty, _ = self._expect_type("after 'param'")
+            name = self._expect_ident("as the parameter name")
+            self._expect_op(";", "after the parameter declaration")
+            params.append(A.LParam(start.span.merge(name.span),
+                                   name.text, ty))
+            return
+
+        rom = output = False
+        while self._at_kw("rom", "output"):
+            q = self._next()
+            if q.value == "rom":
+                if rom:
+                    self._error("duplicate 'rom' qualifier", q.span)
+                rom = True
+            else:
+                if output:
+                    self._error("duplicate 'output' qualifier", q.span)
+                output = True
+
+        ty, ty_tok = self._expect_type("to start the declaration")
+        name = self._expect_ident("as the declared name")
+
+        if self._at_op("["):
+            shape = []
+            while self._at_op("["):
+                self._next()
+                dim = self._peek()
+                if dim.kind != "int":
+                    self._error("array dimensions must be integer literals",
+                                dim.span)
+                if int(dim.value) <= 0:
+                    self._error("array dimensions must be positive",
+                                dim.span)
+                self._next()
+                shape.append(int(dim.value))
+                self._expect_op("]", "to close the array dimension")
+            init = None
+            init_span = None
+            if self._at_op("="):
+                self._next()
+                init, init_span = self._parse_array_init()
+            semi = self._expect_op(";", "after the array declaration")
+            arrays.append(A.LArray(start.span.merge(semi.span), name.text,
+                                   ty, shape, rom=rom, output=output,
+                                   init=init, init_span=init_span))
+            return
+
+        if rom or output:
+            qual = "rom" if rom else "output"
+            self._error(f"'{qual}' applies to arrays; give {name.text!r} "
+                        f"dimensions like '{qual} {ty} {name.text}[16];'",
+                        start.span.merge(name.span))
+        init_expr = None
+        if self._at_op("="):
+            self._next()
+            init_expr = self.parse_expr()
+        semi = self._expect_op(";", "after the declaration")
+        scalars.append(A.LScalar(ty_tok.span.merge(semi.span), name.text,
+                                 ty, init_expr))
+
+    def _parse_array_init(self):
+        open_tok = self._expect_op("{", "to start the array initializer")
+        values: list = []
+        while not self._at_op("}"):
+            values.append(self._parse_init_number())
+            if self._at_op(","):
+                self._next()
+            elif not self._at_op("}"):
+                self._error("expected ',' or '}' in the array initializer")
+        close = self._next()  # '}'
+        if not values:
+            self._error("array initializer must not be empty",
+                        open_tok.span.merge(close.span))
+        return values, open_tok.span.merge(close.span)
+
+    def _parse_init_number(self):
+        neg = False
+        if self._at_op("-"):
+            self._next()
+            neg = True
+        tok = self._peek()
+        if tok.kind not in ("int", "float"):
+            self._error("array initializers hold numeric literals only, "
+                        f"found {self._describe(tok)}", tok.span)
+        self._next()
+        return -tok.value if neg else tok.value
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_stmt(self) -> A.LStmt:
+        tok = self._peek()
+        if tok.kind == "pragma":
+            return self._parse_pragma_for()
+        if self._at_kw("for"):
+            return self._parse_for(kernel=False)
+        if self._at_kw("if"):
+            return self._parse_if()
+        if tok.kind == "ident" and tok.value not in _RESERVED:
+            return self._parse_assign_or_store()
+        self._error(f"expected a statement, found {self._describe(tok)}")
+
+    def _parse_pragma_for(self) -> A.LStmt:
+        tok = self._next()
+        if tok.value != "kernel":
+            self._error(f"unknown pragma {tok.value!r}"
+                        + suggest(str(tok.value), ["kernel"]), tok.span)
+        if not self._at_kw("for"):
+            self._error("'#pragma kernel' must be followed by a 'for' loop")
+        return self._parse_for(kernel=True)
+
+    def _parse_for(self, kernel: bool) -> A.LFor:
+        kw = self._next()  # 'for'
+        self._expect_op("(", "after 'for'")
+        var = self._expect_ident("as the loop variable")
+        self._expect_op("=", "in the loop initialization")
+        lo = self.parse_expr()
+        self._expect_op(";", "after the loop initialization")
+
+        cmp_var = self._expect_ident("in the loop condition")
+        if cmp_var.text != var.text:
+            self._error(f"loop condition tests {cmp_var.text!r} but the "
+                        f"loop variable is {var.text!r}", cmp_var.span)
+        if self._at_op("<"):
+            direction = 1
+        elif self._at_op(">"):
+            direction = -1
+        else:
+            self._error("expected '<' or '>' in the loop condition "
+                        f"(found {self._describe(self._peek())})")
+        self._next()
+        hi = self.parse_expr()
+        self._expect_op(";", "after the loop condition")
+
+        step_var = self._expect_ident("in the loop step")
+        if step_var.text != var.text:
+            self._error(f"loop step updates {step_var.text!r} but the "
+                        f"loop variable is {var.text!r}", step_var.span)
+        if self._at_op("++"):
+            self._next()
+            step = 1
+        elif self._at_op("--"):
+            self._next()
+            step = -1
+        elif self._at_op("+=", "-="):
+            op = self._next()
+            neg = False
+            if self._at_op("-"):
+                self._next()
+                neg = True
+            amt = self._peek()
+            if amt.kind != "int":
+                self._error("the loop step amount must be an integer "
+                            "literal", amt.span)
+            self._next()
+            step = int(amt.value)
+            if neg != (op.value == "-="):
+                step = -step
+            if step == 0:
+                self._error("loop step must be non-zero", amt.span)
+        else:
+            self._error("expected '++', '--', '+=' or '-=' in the loop "
+                        f"step (found {self._describe(self._peek())})")
+        if (step > 0) != (direction > 0):
+            word = "ascending" if step > 0 else "descending"
+            sym = "<" if step > 0 else ">"
+            self._error(f"{word} loop (step {step}) must use {sym!r} in "
+                        f"its condition", cmp_var.span)
+
+        self._expect_op(")", "to close the loop header")
+        body = self._parse_block("the loop body")
+        return A.LFor(kw.span, var.text, lo, hi, step, body,
+                      kernel=kernel, var_span=var.span)
+
+    def _parse_if(self) -> A.LIf:
+        kw = self._next()  # 'if'
+        self._expect_op("(", "after 'if'")
+        cond = self.parse_expr()
+        self._expect_op(")", "to close the if condition")
+        then = self._parse_block("the if body")
+        orelse: list[A.LStmt] = []
+        if self._at_kw("else"):
+            self._next()
+            if self._at_kw("if"):
+                orelse = [self._parse_if()]
+            else:
+                orelse = self._parse_block("the else body")
+        return A.LIf(kw.span, cond, then, orelse)
+
+    def _parse_block(self, what: str) -> list[A.LStmt]:
+        self._expect_op("{", f"to open {what}")
+        stmts: list[A.LStmt] = []
+        while not self._at_op("}"):
+            if self._peek().kind == "eof":
+                self._error(f"unexpected end of input inside {what} "
+                            "(missing '}')")
+            stmts.append(self.parse_stmt())
+        self._next()  # '}'
+        return stmts
+
+    def _parse_assign_or_store(self) -> A.LStmt:
+        name = self._next()
+        if self._at_op("["):
+            index = []
+            while self._at_op("["):
+                self._next()
+                index.append(self.parse_expr())
+                self._expect_op("]", "to close the subscript")
+            self._expect_op("=", "in the array store")
+            value = self.parse_expr()
+            semi = self._expect_op(";", "after the statement")
+            return A.LStore(name.span.merge(semi.span), name.text, index,
+                            value, name_span=name.span)
+        self._expect_op("=", "in the assignment (calls and bare "
+                        "expressions are not statements)")
+        expr = self.parse_expr()
+        semi = self._expect_op(";", "after the statement")
+        return A.LAssign(name.span.merge(semi.span), name.text, expr,
+                         name_span=name.span)
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expr(self) -> A.LExpr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> A.LExpr:
+        cond = self._parse_binary(0)
+        if not self._at_op("?"):
+            return cond
+        self._next()
+        iftrue = self.parse_expr()
+        self._expect_op(":", "in the conditional expression")
+        iffalse = self._parse_ternary()
+        return A.LSelect(cond.span.merge(iffalse.span), cond, iftrue,
+                         iffalse)
+
+    def _parse_binary(self, level: int) -> A.LExpr:
+        if level >= len(_BINARY_LEVELS):
+            return self._parse_unary()
+        ops = dict(_BINARY_LEVELS[level])
+        lhs = self._parse_binary(level + 1)
+        while self._at_op(*ops):
+            op_tok = self._next()
+            rhs = self._parse_binary(level + 1)
+            node = A.LBin(lhs.span.merge(rhs.span), ops[str(op_tok.value)],
+                          lhs, rhs, op_span=op_tok.span)
+            lhs = node
+        return lhs
+
+    def _parse_unary(self) -> A.LExpr:
+        tok = self._peek()
+        if self._at_op("-"):
+            self._next()
+            lit = self._peek()
+            if lit.kind in ("int", "float"):
+                # fold into a negative literal (printer spells an explicit
+                # neg node as "-(5)")
+                self._next()
+                node = A.LLit(tok.span.merge(lit.span), -lit.value,
+                              suffix=lit.ty)
+                return node
+            operand = self._parse_unary()
+            return A.LUn(tok.span.merge(operand.span), "neg", operand)
+        if self._at_op("~"):
+            self._next()
+            operand = self._parse_unary()
+            return A.LUn(tok.span.merge(operand.span), "not", operand)
+        return self._parse_cast()
+
+    def _parse_cast(self) -> A.LExpr:
+        tok = self._peek()
+        if (self._at_op("(") and self._peek(1).kind == "ident"
+                and self._peek(1).value in TYPE_NAMES
+                and self._peek(2).kind == "op"
+                and self._peek(2).value == ")"):
+            self._next()
+            ty_tok = self._next()
+            self._next()  # ')'
+            operand = self._parse_unary()
+            return A.LCast(tok.span.merge(operand.span),
+                           TYPE_NAMES[ty_tok.value], operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> A.LExpr:
+        tok = self._peek()
+        if tok.kind == "int" or tok.kind == "float":
+            self._next()
+            return A.LLit(tok.span, tok.value, suffix=tok.ty)
+        if self._at_kw("true", "false"):
+            self._next()
+            return A.LLit(tok.span, tok.value == "true")
+        if self._at_op("("):
+            self._next()
+            inner = self.parse_expr()
+            close = self._expect_op(")", "to close the parenthesized "
+                                    "expression")
+            inner.span = tok.span.merge(close.span)
+            return inner
+        if tok.kind == "ident":
+            if tok.value in _RESERVED:
+                self._error(f"unexpected keyword {tok.value!r} in an "
+                            "expression", tok.span)
+            self._next()
+            if self._at_op("("):
+                if tok.value in _INTRINSICS:
+                    return self._parse_call(tok)
+                self._error(f"unknown function {tok.text!r}; the only "
+                            "intrinsic calls are min(a, b) and max(a, b)",
+                            tok.span)
+            if self._at_op("["):
+                index = []
+                last = tok
+                while self._at_op("["):
+                    self._next()
+                    index.append(self.parse_expr())
+                    last = self._expect_op("]", "to close the subscript")
+                return A.LIndex(tok.span.merge(last.span), tok.text, index)
+            return A.LVar(tok.span, tok.text)
+        self._error(f"expected an expression, found {self._describe(tok)}")
+
+    def _parse_call(self, fn: Token) -> A.LExpr:
+        self._next()  # '('
+        args = [self.parse_expr()]
+        while self._at_op(","):
+            self._next()
+            args.append(self.parse_expr())
+        close = self._expect_op(")", f"to close the {fn.text}() call")
+        if len(args) != 2:
+            self._error(f"{fn.text}() takes exactly 2 arguments, "
+                        f"got {len(args)}", fn.span.merge(close.span))
+        return A.LCall(fn.span.merge(close.span), fn.text, args)
+
+
+def parse(text: str, filename: str = "<lang>") -> A.LKernel:
+    """Parse one ``kernel`` unit; raises :class:`~repro.errors.LangError`
+    on malformed input."""
+    return _Parser(SourceText(text, filename)).parse_unit()

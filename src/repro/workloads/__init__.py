@@ -99,6 +99,10 @@ def table_1_1_programs() -> list[Benchmark]:
 
 
 def benchmark_by_name(name: str) -> Benchmark:
+    if name.startswith("lang:") or name.endswith(".lang"):
+        # source-file kernels: "lang:<path>#<digest>" or "<path>.lang"
+        from repro.lang.loader import lang_kernel
+        return lang_kernel(name)
     for bm in table_6_1_benchmarks() + table_1_1_programs():
         if bm.name == name:
             return bm

@@ -21,7 +21,7 @@ class TestPrinter:
         ld = Load("t", (Var("i", I32),), U8)
         assert expr_to_str(ld) == "t[i]"
         st = Store("t", (Var("i", I32),), Const(3, U8))
-        assert "t[i] = 3;" in stmt_to_str(st)
+        assert "t[i] = 3u8;" in stmt_to_str(st)
 
     def test_select_and_minmax(self):
         x = Var("x", I32)
@@ -47,7 +47,7 @@ class TestPrinter:
     def test_program_header(self, fig41):
         text = program_to_str(fig41)
         assert "param i32 k;" in text
-        assert "i32 out[8];  // output" in text
+        assert "output i32 out[8];" in text
 
 
 class TestValidator:

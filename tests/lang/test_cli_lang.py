@@ -1,0 +1,98 @@
+"""CLI coverage for the source-language front end: ``repro compile`` and
+the ``--source`` axis of ``repro explore`` / ``repro tables``."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+KERNEL_DIR = pathlib.Path(__file__).resolve().parents[2] \
+    / "src" / "repro" / "lang" / "kernels"
+
+GOOD = """kernel cli_demo {
+  param i32 k;
+  output u8 out[4];
+  u8 a;
+  for (i = 0; i < 4; i++) {
+    a = 1;
+    #pragma kernel
+    for (j = 0; j < 3; j++) { a = (u8) (a + k); }
+    out[i] = a;
+  }
+}
+"""
+
+
+@pytest.fixture
+def demo(tmp_path):
+    p = tmp_path / "demo.lang"
+    p.write_text(GOOD)
+    return p
+
+
+class TestCompileCommand:
+    def test_compile_committed_kernel(self, capsys):
+        path = str(KERNEL_DIR / "simple-fg.lang")
+        assert main(["compile", path, "--ds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel 'simple-fg'" in out
+        assert "squash(2) verified" in out
+        assert "II=" in out
+
+    def test_unbound_params_skip_functional_check(self, demo, capsys):
+        assert main(["compile", str(demo)]) == 0
+        out = capsys.readouterr().out
+        assert "functional check skipped (unbound params: k)" in out
+
+    def test_bound_params_verify(self, demo, capsys):
+        assert main(["compile", str(demo), "--param", "k=3"]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_show_ir_round_trips(self, demo, capsys):
+        assert main(["compile", str(demo), "--show-ir",
+                     "--param", "k=1"]) == 0
+        assert "kernel cli_demo {" in capsys.readouterr().out
+
+    def test_bad_param_exits_1(self, demo, capsys):
+        assert main(["compile", str(demo), "--param", "zz=1"]) == 1
+        assert "declared params: k" in capsys.readouterr().err
+
+    def test_missing_file_exits_1(self, tmp_path, capsys):
+        assert main(["compile", str(tmp_path / "nope.lang")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_syntax_error_exits_1_with_position(self, tmp_path, capsys):
+        p = tmp_path / "bad.lang"
+        p.write_text("kernel k {\n  output u8 o[1]\n}\n")
+        assert main(["compile", str(p)]) == 1
+        err = capsys.readouterr().err
+        assert "bad.lang:" in err and "^" in err
+
+    def test_no_kernel_pragma_exits_1(self, tmp_path, capsys):
+        p = tmp_path / "flat.lang"
+        p.write_text("kernel k { output u8 o[2];\n"
+                     "  for (i = 0; i < 2; i++) { o[i] = 1; } }\n")
+        assert main(["compile", str(p)]) == 1
+        assert "#pragma kernel" in capsys.readouterr().err
+
+
+class TestSourceAxis:
+    def test_explore_with_source(self, tmp_path, capsys):
+        path = str(KERNEL_DIR / "simple-fg.lang")
+        assert main(["explore", "--source", path, "--factors", "2",
+                     "--variants", "original", "squash",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "explored 2 designs" in out
+
+    def test_explore_without_kernel_or_source_exits_2(self, capsys):
+        assert main(["explore", "--factors", "2"]) == 2
+        assert "--kernel or --source" in capsys.readouterr().err
+
+    def test_tables_with_source(self, capsys):
+        path = str(KERNEL_DIR / "simple-fg.lang")
+        assert main(["tables", "6.2", "--factors", "2",
+                     "--source", path, "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "simple-fg" in out or "lang:" in out

@@ -1,0 +1,101 @@
+"""Unit tests for the ``repro.lang`` tokenizer."""
+
+import pytest
+
+from repro.errors import LangError
+from repro.ir.types import F32, I32, U8, U16
+from repro.lang.diagnostics import SourceText
+from repro.lang.lexer import tokenize
+
+
+def toks(text):
+    return tokenize(SourceText(text, "<t>"))
+
+
+def kinds(text):
+    return [t.kind for t in toks(text)]
+
+
+class TestTokens:
+    def test_idents_and_ops(self):
+        ts = toks("x = y + 3;")
+        assert [t.kind for t in ts] == \
+            ["ident", "op", "ident", "op", "int", "op", "eof"]
+        assert ts[0].value == "x" and ts[4].value == 3
+
+    def test_spans_are_one_based(self):
+        ts = toks("ab cd")
+        assert (ts[0].span.line, ts[0].span.col) == (1, 1)
+        assert (ts[1].span.line, ts[1].span.col) == (1, 4)
+
+    def test_multichar_ops_win(self):
+        ts = toks("a <<= 1")  # lexes as "<<" then "="
+        assert [t.value for t in ts[1:3]] == ["<<", "="]
+        assert [t.value for t in toks("i++")[1:2]] == ["++"]
+
+    def test_hex_and_leading_zero(self):
+        assert toks("0xff")[0].value == 255
+        assert toks("007")[0].value == 7
+
+    def test_typed_suffixes(self):
+        ts = toks("255u8 40000u16 1.5f32")
+        assert (ts[0].value, ts[0].ty) == (255, U8)
+        assert (ts[1].value, ts[1].ty) == (40000, U16)
+        assert (ts[2].value, ts[2].ty) == (1.5, F32)
+
+    def test_float_forms(self):
+        vals = [t.value for t in toks("1.5 1e-05 2.5e3")[:-1]]
+        assert vals == [1.5, 1e-05, 2500.0]
+
+    def test_comments_skipped(self):
+        assert kinds("a // c\nb /* x\ny */ c") == \
+            ["ident", "ident", "ident", "eof"]
+
+    def test_pragma_and_string(self):
+        ts = toks('#pragma kernel\nkernel "my name"')
+        assert (ts[0].kind, ts[0].value) == ("pragma", "kernel")
+        assert (ts[2].kind, ts[2].value) == ("string", "my name")
+
+
+class TestLexErrors:
+    @pytest.mark.parametrize("src, fragment", [
+        ('"unterminated', "unterminated"),
+        ("/* open", "unterminated"),
+        ("12abc", "suffix"),
+        ("3u9", "suffix"),
+        ("@", "unexpected"),
+    ])
+    def test_raises_langerror_with_position(self, src, fragment):
+        with pytest.raises(LangError) as exc:
+            toks(src)
+        msg = str(exc.value)
+        assert fragment in msg
+        assert "<t>:1:" in msg       # file:line:col prefix
+        assert "^" in msg            # caret snippet
+
+    def test_suffix_did_you_mean(self):
+        with pytest.raises(LangError, match="did you mean 'u64'"):
+            toks("9u61")
+
+    def test_never_a_bare_exception(self):
+        for src in ("'", "`", "1..2", "0x", "$"):
+            with pytest.raises(LangError):
+                toks(src)
+
+
+class TestSuffixTypes:
+    def test_all_scalar_type_names_lex(self):
+        from repro.ir.types import ALL_TYPES
+        for ty in ALL_TYPES:
+            if ty.name == "bool":
+                continue
+            lit = "1.0" if ty.is_float else "1"
+            t = toks(f"{lit}{ty.name}")[0]
+            assert t.ty is ty
+
+    def test_bare_literals_have_no_type(self):
+        assert toks("42")[0].ty is None
+        assert toks("1.5")[0].ty is None
+
+    def test_int_suffix_matches(self):
+        assert toks("7i32")[0].ty is I32

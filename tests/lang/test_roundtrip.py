@@ -1,0 +1,82 @@
+"""Round-trip property: ``compile_source(program_to_str(p))`` reconstructs
+an equivalent program, for the hand-built workloads and for the random
+generators (satellite of the printer rewrite — the printer's output *is*
+the source language)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.ir.interp import run_program
+from repro.ir.printer import program_to_str
+from repro.ir.randgen import (
+    RandConfig, random_program, random_squashable_nest,
+)
+from repro.lang import compile_source, programs_equivalent
+from repro.workloads import table_1_1_programs, table_6_1_benchmarks
+
+from tests.conftest import build_fig21, build_fig41
+
+
+def roundtrip(prog):
+    text = program_to_str(prog)
+    back = compile_source(text, filename=f"<printed:{prog.name}>")
+    assert programs_equivalent(prog, back), \
+        f"round-trip changed {prog.name}:\n{text}"
+    return back
+
+
+class TestWorkloadRoundTrip:
+    def test_fig21(self):
+        roundtrip(build_fig21())
+
+    def test_fig41(self):
+        roundtrip(build_fig41())
+
+    @pytest.mark.parametrize(
+        "bm", table_6_1_benchmarks(), ids=lambda bm: bm.name)
+    def test_table_6_1(self, bm):
+        roundtrip(bm.build(**bm.small_kwargs))
+
+    @pytest.mark.parametrize(
+        "bm", table_1_1_programs(), ids=lambda bm: bm.name)
+    def test_table_1_1(self, bm):
+        roundtrip(bm.build(**bm.eval_kwargs))
+
+    def test_semantics_preserved(self):
+        # structural equivalence is the strong check; run one program on
+        # both sides anyway to pin the interpreter-visible behavior
+        prog = build_fig41()
+        back = roundtrip(prog)
+        a = run_program(prog, params={"k": 3})
+        b = run_program(back, params={"k": 3})
+        assert np.array_equal(a.arrays["out"], b.arrays["out"])
+
+
+class TestRandomRoundTrip:
+    def test_squashable_nests(self):
+        rng = random.Random(2026)
+        for _ in range(60):
+            prog, _outer = random_squashable_nest(rng)
+            roundtrip(prog)
+
+    def test_random_programs(self):
+        rng = random.Random(7)
+        for _ in range(60):
+            roundtrip(random_program(rng))
+
+    def test_random_programs_with_floats(self):
+        rng = random.Random(11)
+        cfg = RandConfig(allow_float=True, max_depth=2)
+        for _ in range(40):
+            roundtrip(random_program(rng, cfg))
+
+    def test_idempotent_printing(self):
+        # print -> parse -> print is a fixed point
+        rng = random.Random(3)
+        for _ in range(10):
+            prog, _ = random_squashable_nest(rng)
+            once = program_to_str(prog)
+            again = program_to_str(compile_source(once))
+            assert once == again

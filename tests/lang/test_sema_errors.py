@@ -1,0 +1,121 @@
+"""Table-driven diagnostics tests: every malformed program raises
+:class:`~repro.errors.LangError` with a ``file:line:col`` position and a
+caret snippet — never a bare ``SyntaxError``/``KeyError``/``TypeError``.
+"""
+
+import pytest
+
+from repro.errors import LangError, ReproError
+from repro.lang import compile_source
+
+# Each case: (name, source, fragment expected in the message).
+CASES = [
+    ("unknown-type-suffix",
+     "kernel k { output u8 o[1]; u8 x; x = 3u7; }",
+     "suffix"),
+    ("unknown-name-did-you-mean",
+     "kernel k { output u8 o[1]; u8 count; count = cuont + 1; }",
+     "did you mean 'count'"),
+    ("unknown-array-did-you-mean",
+     "kernel k { output u8 data[4]; data2[0] = 1; }",
+     "did you mean 'data'"),
+    ("non-affine-bound",
+     "kernel k { output u8 o[8]; u8 x;\n"
+     "  for (i = 0; i < x * x; i++) { o[0] = 1; } }",
+     "affine"),
+    ("store-to-rom",
+     "kernel k { rom u8 t[2] = {1, 2}; output u8 o[1]; t[0] = 3; }",
+     "ROM"),
+    ("assign-to-param",
+     "kernel k { param i32 n; output u8 o[1]; n = 3; }",
+     "parameter"),
+    ("subscript-arity",
+     "kernel k { output u8 m[2][2]; m[0] = 1; }",
+     "dimension"),
+    ("float-bitwise",
+     "kernel k { output u8 o[1]; f64 a; f64 b; a = a & b; }",
+     "float"),
+    ("float-shift",
+     "kernel k { output u8 o[1]; f64 a; a = a << 2; }",
+     "float"),
+    ("float-bitnot",
+     "kernel k { output u8 o[1]; f64 a; a = ~a; }",
+     "float"),
+    ("float-subscript",
+     "kernel k { output u8 o[4]; f64 f; o[f] = 1; }",
+     "integer"),
+    ("duplicate-declaration",
+     "kernel k { output u8 o[1]; u8 x; i32 x; }",
+     "duplicate"),
+    ("rom-without-init",
+     "kernel k { rom u8 t[4]; output u8 o[1]; }",
+     "initial"),
+    ("init-size-mismatch",
+     "kernel k { output u8 o[1]; u8 a[4] = {1, 2}; }",
+     "4 elements"),
+    ("float-init-in-int-array",
+     "kernel k { output u8 o[1]; u8 a[2] = {1, 2.5}; }",
+     "float literal"),
+    ("array-read-without-subscript",
+     "kernel k { output u8 o[4]; u8 x; x = o + 1; }",
+     "subscript"),
+    ("scalar-subscripted",
+     "kernel k { output u8 o[1]; u8 x; u8 y; y = x[0]; }",
+     "scalar"),
+    ("assign-to-array",
+     "kernel k { output u8 o[4]; o = 3; }",
+     "array"),
+    ("assign-to-undeclared",
+     "kernel k { output u8 o[1]; zz = 3; }",
+     "zz"),
+    ("loop-var-is-param",
+     "kernel k { param i32 i; output u8 o[4];\n"
+     "  for (i = 0; i < 4; i++) { o[0] = 1; } }",
+     "parameter"),
+    ("loop-var-wrong-type",
+     "kernel k { output u8 o[4]; u8 i;\n"
+     "  for (i = 0; i < 4; i++) { o[0] = 1; } }",
+     "i32"),
+    ("unterminated-string",
+     'kernel "oops { output u8 o[1]; }',
+     "unterminated"),
+    ("unterminated-comment",
+     "kernel k { /* output u8 o[1]; }",
+     "unterminated"),
+]
+
+
+@pytest.mark.parametrize("name, src, fragment",
+                         CASES, ids=[c[0] for c in CASES])
+def test_diagnostic(name, src, fragment):
+    with pytest.raises(LangError) as exc:
+        compile_source(src, filename="bad.lang")
+    msg = str(exc.value)
+    assert fragment in msg, msg
+    assert msg.startswith("bad.lang:"), msg      # file:line:col prefix
+    head = msg.split(":", 3)
+    assert head[1].isdigit() and head[2].isdigit(), msg
+    assert "^" in msg, msg                       # caret snippet
+
+
+def test_langerror_is_reproerror():
+    # front-end failures flow through the CLI's existing error handling
+    assert issubclass(LangError, ReproError)
+
+
+def test_fields_carry_position():
+    src = "kernel k { output u8 o[1];\n  u8 x;\n  x = yy;\n}"
+    with pytest.raises(LangError) as exc:
+        compile_source(src, filename="f.lang")
+    err = exc.value
+    assert err.filename == "f.lang"
+    assert err.line == 3
+    assert err.col >= 7
+    assert "x = yy;" in err.snippet
+
+
+def test_validation_failures_become_langerrors():
+    # possibly-undefined read is caught by ir.validate, rewrapped with a span
+    src = "kernel k { output u8 o[1]; u8 x; u8 y; x = y; }"
+    with pytest.raises(LangError):
+        compile_source(src)
