@@ -1,8 +1,19 @@
-"""Setup shim for environments whose pip lacks the `wheel` package.
+"""Packaging for the unroll-and-squash reproduction.
 
-All metadata lives in pyproject.toml; this file only enables the legacy
-editable-install path (`pip install -e .` -> `setup.py develop`).
+numpy is a hard dependency: the scheduler core
+(:mod:`repro.hw.sched_kernel`) runs its placement/probe loops over
+dense arrays, the workloads seed their input arrays from it, and the
+simulators check values against numpy references.  The pure-Python
+scheduler reference (``REPRO_SCHED_KERNEL=0``) exists for parity
+testing, not for numpy-free installs.
 """
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-unroll-and-squash",
+    version="0.7.0",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

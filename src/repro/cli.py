@@ -14,10 +14,11 @@ Commands
                 Pareto frontier (``--pareto``), the best-design ranking
                 (``--best``), and skip records;
 ``bench``       measure the sweep hot path (cold / warm / warm-recompile
-                phases with per-stage timings and cache hit rates) and
-                write a standardized ``BENCH_*.json`` record; in
-                ``--quick`` mode also byte-checks the formatted tables
-                against the golden fixtures;
+                phases with per-stage timings and cache hit rates, plus
+                a schedule-only numpy-vs-python A/B) and write a
+                standardized ``BENCH_*.json`` record; every acev sweep
+                whose factors include 2 also byte-checks the formatted
+                tables against the golden fixtures;
 ``compile``     compile a ``.lang`` source kernel (see :mod:`repro.lang`)
                 through the pipeline: diagnostics, optional functional
                 verification, and original/squash hardware estimates;
@@ -369,14 +370,16 @@ def build_parser() -> argparse.ArgumentParser:
     b = sub.add_parser(
         "bench", help="measure the sweep hot path and write BENCH json")
     b.add_argument("--quick", action="store_true",
-                   help="factors=(2,) + golden byte-check (CI smoke mode)")
+                   help="factors=(2,) only (CI smoke mode); the golden "
+                        "byte-check runs on every acev sweep with 2 in "
+                        "its factors")
     b.add_argument("--factors", type=int, nargs="+", default=[2, 4, 8, 16])
     b.add_argument("--target", default="acev")
     b.add_argument("--scheduler", default="",
                    help="strategy for pipelined variants (default: target's)")
     b.add_argument("--jobs", type=int, default=None,
                    help="workers per phase (default: scaled to the sweep)")
-    b.add_argument("--out", default="BENCH_5.json",
+    b.add_argument("--out", default="BENCH_7.json",
                    help="where to write the JSON record")
     b.add_argument("--vliw-target", default="vliw4",
                    help="second-backend retarget phase spec "

@@ -15,13 +15,28 @@ from typing import Optional
 
 from repro.errors import ReproError
 
-__all__ = ["ANALYSIS_CACHE_ENV", "analysis_cache_mode", "env_int"]
+__all__ = ["ANALYSIS_CACHE_ENV", "DFG_JAM_ENV", "SCHED_KERNEL_ENV",
+           "analysis_cache_mode", "dfg_jam_enabled", "env_int",
+           "sched_kernel_enabled"]
 
 #: Controls the shared-analysis machinery (see :mod:`repro.pipeline.analysis`
 #: and :mod:`repro.hw.iimemo`): ``"0"`` disables sharing entirely (the
 #: benchmark ablation baseline), ``"mem"`` keeps the in-process tier only,
 #: anything else (default) enables the full two-tier (memory + disk) cache.
 ANALYSIS_CACHE_ENV = "REPRO_ANALYSIS_CACHE"
+
+#: Selects the scheduler core (see :mod:`repro.hw.sched_kernel`): ``"0"``
+#: forces the pure-Python reference loops; anything else (default) uses the
+#: numpy array kernels when numpy is importable.  Both produce bit-identical
+#: schedules — the knob exists for parity testing and numpy-free installs.
+SCHED_KERNEL_ENV = "REPRO_SCHED_KERNEL"
+
+#: Selects how ``jam`` variants are analyzed (see :mod:`repro.core.jamdfg`):
+#: ``"0"`` re-lowers the jammed program through clone/3AC/SSA (the historical
+#: path); anything else (default) derives the fused inner loop's analysis
+#: directly, skipping the whole-program clone.  Both produce identical
+#: artifacts — the knob exists for differential testing.
+DFG_JAM_ENV = "REPRO_DFG_JAM"
 
 
 def env_int(name: str, default: Optional[int],
@@ -54,3 +69,13 @@ def analysis_cache_mode() -> str:
     if raw == "mem":
         return "mem"
     return "disk"
+
+
+def sched_kernel_enabled() -> bool:
+    """True unless ``REPRO_SCHED_KERNEL=0`` pins the pure-Python core."""
+    return os.environ.get(SCHED_KERNEL_ENV, "1").strip() != "0"
+
+
+def dfg_jam_enabled() -> bool:
+    """True unless ``REPRO_DFG_JAM=0`` pins the re-lowering jam path."""
+    return os.environ.get(DFG_JAM_ENV, "1").strip() != "0"

@@ -38,7 +38,10 @@ __all__ = ["format_bench", "run_sweep_bench"]
 
 #: Schema marker so future PRs can evolve the record without guessing.
 #: 2 = added the ``vliw_retarget`` phase and its ``vliw_target`` field.
-SCHEMA = 2
+#: 3 = golden tables checked on every run (f2 slice), added the
+#: ``sched_hotpath`` phase (schedule-only numpy-vs-python A/B) and the
+#: ``sched_kernel`` provenance field.
+SCHEMA = 3
 
 
 def _golden_dir() -> pathlib.Path:
@@ -62,6 +65,78 @@ def _phase(queries, jobs) -> dict:
         "cache_counters": dict(sorted(result.cache_counters.items())),
     }
     return record, result
+
+
+def _sched_hotpath_phase(kernels: Sequence[str], factors: Sequence[int],
+                         specs: Sequence[str], scheduler: str) -> dict:
+    """Schedule-only A/B of the two scheduler cores over warm analyses.
+
+    Builds (and excludes from timing) every pipelined design's analyzed
+    DFG for each backend, then times pure ``schedule()`` calls twice —
+    numpy core vs pure-Python reference — with the II-search memo
+    disabled so both sides perform the full candidate-II search.  This
+    isolates the scheduler inner loops the sweep phases only see mixed
+    with front-end and cache effects.
+    """
+    import os
+
+    from repro.errors import ReproError
+    from repro.hw import sched_kernel
+    from repro.hw.schedulers import scheduler_by_name
+    from repro.nimble import decode_target
+    from repro.pipeline.analysis import base_analyzed_dfg, \
+        jam_analyzed_dfg, squash_analyzed_dfg
+    from repro.workloads import benchmark_by_name
+
+    designs = []
+    for spec in specs:
+        target = decode_target(spec)
+        lib = target.library
+        strategy = scheduler_by_name(scheduler
+                                     or getattr(target, "scheduler", ""))
+        for kern in kernels:
+            bm = benchmark_by_name(kern)
+            prog = bm.build(**bm.eval_kwargs)
+            from repro.analysis.loops import find_kernel_nests, \
+                find_loop_nests
+            nests = find_kernel_nests(prog) or find_loop_nests(prog)
+            nest = nests[0]
+            builders = [lambda: base_analyzed_dfg(prog, nest)]
+            for f in factors:
+                builders.append(
+                    lambda f=f: squash_analyzed_dfg(prog, nest, f,
+                                                    delay_fn=lib.delay))
+                builders.append(lambda f=f: jam_analyzed_dfg(prog, nest, f))
+            for build in builders:
+                try:
+                    designs.append((build(), lib, strategy))
+                except ReproError:
+                    continue  # illegal variants don't reach the scheduler
+
+    phase: dict = {"designs": len(designs), "specs": list(specs)}
+    saved = {k: os.environ.get(k)
+             for k in ("REPRO_SCHED_KERNEL", "REPRO_ANALYSIS_CACHE")}
+    try:
+        os.environ["REPRO_ANALYSIS_CACHE"] = "0"  # no II-memo shortcuts
+        for label, knob in (("numpy", "1"), ("python", "0")):
+            os.environ["REPRO_SCHED_KERNEL"] = knob
+            before = dict(sched_kernel.kernel_counters())
+            t0 = time.perf_counter()
+            for analyzed, lib, strategy in designs:
+                strategy.schedule(analyzed.dfg, lib, edges=analyzed.edges)
+            phase[f"{label}_s"] = round(time.perf_counter() - t0, 4)
+            after = sched_kernel.kernel_counters()
+            phase[f"{label}_attempts"] = {
+                k: after[k] - before[k] for k in after}
+    finally:
+        for k, v in saved.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+    if phase.get("numpy_s"):
+        phase["speedup"] = round(phase["python_s"] / phase["numpy_s"], 2)
+    return phase
 
 
 def run_sweep_bench(factors: Sequence[int] = (2, 4, 8, 16),
@@ -120,6 +195,15 @@ def run_sweep_bench(factors: Sequence[int] = (2, 4, 8, 16),
         phases["vliw_retarget"]["skipped_designs"] = \
             len(vliw_result.skips())
 
+    # schedule-only A/B of the numpy scheduler core vs the pure-Python
+    # reference, over warm front-end analyses on both backends
+    hot_specs = [target_spec] + ([vliw_spec] if vliw_spec
+                                 and vliw_spec != target_spec else [])
+    phases["sched_hotpath"] = _sched_hotpath_phase(kernels, factors,
+                                                   hot_specs, scheduler)
+
+    from repro.env import dfg_jam_enabled
+    from repro.hw import sched_kernel
     record = {
         "bench": "table_6_2_6_3_sweep",
         "schema": SCHEMA,
@@ -127,6 +211,8 @@ def run_sweep_bench(factors: Sequence[int] = (2, 4, 8, 16),
         "target": target_spec,
         "vliw_target": vliw_spec,
         "scheduler": scheduler,
+        "sched_kernel": sched_kernel.kernel_mode(),
+        "dfg_jam": dfg_jam_enabled(),
         "queries": len(queries),
         "jobs": jobs,
         "cores": os.cpu_count(),
@@ -134,9 +220,11 @@ def run_sweep_bench(factors: Sequence[int] = (2, 4, 8, 16),
     }
 
     # --- golden drift guard (byte-level, never timing) -----------------
+    # every factor set containing 2 can be byte-checked: the f2 column
+    # slice of the cold sweep is exactly what a factors=(2,) run formats
     golden = {"checked": False, "ok": None, "detail": ""}
     gdir = pathlib.Path(golden_dir) if golden_dir else _golden_dir()
-    if tuple(factors) == (2,) and target_spec == "acev" and not scheduler:
+    if 2 in factors and target_spec == "acev" and not scheduler:
         g62 = gdir / "golden_table_6_2_f2.txt"
         g63 = gdir / "golden_table_6_3_f2.txt"
         if g62.is_file() and g63.is_file():
@@ -148,7 +236,7 @@ def run_sweep_bench(factors: Sequence[int] = (2, 4, 8, 16),
                 slot = by_kernel[q.kernel]
                 if q.variant in ("original", "pipelined"):
                     slot[q.variant] = point
-                else:
+                elif q.ds == 2:
                     slot[q.variant][q.ds] = point
             sweep = {k: VariantSet(kernel=k, target=target,
                                    original=v["original"],
@@ -191,8 +279,16 @@ def format_bench(record: dict) -> str:
     """Human summary of one benchmark record."""
     lines = [f"sweep bench: {record['queries']} designs, "
              f"factors={record['factors']}, jobs={record['jobs']} "
-             f"(cores={record['cores']})"]
+             f"(cores={record['cores']}, "
+             f"sched_kernel={record.get('sched_kernel', '?')})"]
     for name, phase in record["phases"].items():
+        if "result_cache" not in phase:   # the sched_hotpath A/B phase
+            lines.append(f"  {name:<15} numpy {phase.get('numpy_s', 0):.3f}s"
+                         f" vs python {phase.get('python_s', 0):.3f}s over "
+                         f"{phase.get('designs', 0)} designs"
+                         + (f"  ({phase['speedup']}x)"
+                            if phase.get("speedup") else ""))
+            continue
         rc = phase["result_cache"]
         stages = ", ".join(f"{k}={v:.2f}s"
                            for k, v in phase["stages_s"].items())

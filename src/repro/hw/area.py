@@ -70,15 +70,15 @@ def registers_pipelined(dfg: DFG, lib: OperatorLibrary,
     Live-in holding registers are always present.
     """
     from repro.hw.mii import default_edge_view
+    from repro.hw.ops import cached_delay_map
     edges = edges if edges is not None else default_edge_view(dfg)
+    delays = cached_delay_map(dfg, lib)
     life: dict[int, int] = {}
-    delays: dict[int, int] = {}
     for s, d, dist in edges:
         if s.kind == "const":
             continue
         lifetime = sched.time[d.nid] + sched.ii * dist - sched.time[s.nid]
         life[s.nid] = max(life.get(s.nid, 0), lifetime)
-        delays[s.nid] = lib.delay(s)
     regs = 0
     for nid, l in life.items():
         residual = l - delays.get(nid, 0)

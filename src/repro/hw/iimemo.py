@@ -53,6 +53,15 @@ __all__ = ["memo_get", "memo_put", "memo_stats", "search_signature"]
 _MEMO = PinningLRU(maxsize=4096)
 register_cache(_MEMO.clear)
 
+#: Identity-keyed memo of the signature's (slots, nodes, view, raw)
+#: body string — everything below the per-search header.  The
+#: register-pressure II bump re-signs the *same* (dfg, lib, edges)
+#: triple once per floor; the body is invariant across those calls
+#: (``dmap`` is itself a pure function of dfg and lib), so only the
+#: cheap header + sha256 remain per search.  Keys pin their objects.
+_SIG_BODY = PinningLRU(maxsize=2048)
+register_cache(_SIG_BODY.clear)
+
 
 def search_signature(dfg: DFG, lib: OperatorLibrary,
                      edges: EdgeView, flavor: str,
@@ -72,17 +81,22 @@ def search_signature(dfg: DFG, lib: OperatorLibrary,
     construction-deterministic, so the signature is stable across
     processes.
     """
-    delay = dmap.__getitem__ if dmap is not None else None
-    slots = ",".join(f"{r}={c}" for r, c in sorted(lib.resource_slots()
-                                                   .items()))
-    parts = [f"{flavor}|{max_ii}|{min_ii}|{slots}"]
-    parts += [f"{n.nid}:{delay(n.nid) if delay else lib.delay(n)}:"
-              f"{'+'.join(lib.node_resources(n))}" for n in dfg.nodes]
-    parts.append("view")
-    parts += [f"{s.nid}>{d.nid}:{dist}" for s, d, dist in edges]
-    parts.append("raw")
-    parts += [f"{e.src.nid}>{e.dst.nid}:{e.dist}" for e in dfg.edges]
-    return hashlib.sha256("|".join(parts).encode()).hexdigest()[:32]
+    key = (id(dfg), id(lib), id(edges))
+    body = _SIG_BODY.get(key)
+    if body is None:
+        delay = dmap.__getitem__ if dmap is not None else None
+        slots = ",".join(f"{r}={c}" for r, c in sorted(lib.resource_slots()
+                                                       .items()))
+        parts = [slots]
+        parts += [f"{n.nid}:{delay(n.nid) if delay else lib.delay(n)}:"
+                  f"{'+'.join(lib.node_resources(n))}" for n in dfg.nodes]
+        parts.append("view")
+        parts += [f"{s.nid}>{d.nid}:{dist}" for s, d, dist in edges]
+        parts.append("raw")
+        parts += [f"{e.src.nid}>{e.dst.nid}:{e.dist}" for e in dfg.edges]
+        body = _SIG_BODY.put(key, (dfg, lib, edges), "|".join(parts))
+    return hashlib.sha256(f"{flavor}|{max_ii}|{min_ii}|{body}"
+                          .encode()).hexdigest()[:32]
 
 
 def memo_get(signature: str) -> Optional[dict]:

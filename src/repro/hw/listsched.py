@@ -39,6 +39,15 @@ class ListSchedule:
 
 def list_schedule(dfg: DFG, lib: OperatorLibrary) -> ListSchedule:
     """ASAP schedule of the distance-0 subgraph under resource limits."""
+    from repro.hw import sched_kernel
+
+    hit = sched_kernel.list_schedule_arrays(dfg, lib)
+    if hit is not None:
+        time, usage, length = hit
+        return ListSchedule(time=time, length=length,
+                            port_usage=usage.get("mem", {}),
+                            resource_usage=usage)
+
     sched = ListSchedule()
     preds: dict[int, list[DFGNode]] = {n.nid: [] for n in dfg.nodes}
     for e in dfg.edges:

@@ -23,6 +23,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Optional
 
+from repro.caches import PinningLRU, register_cache
 from repro.core.dfg import DFG, DFGNode
 from repro.core.stages import StageAssignment
 from repro.hw.ops import OperatorLibrary
@@ -32,9 +33,22 @@ __all__ = ["rec_mii", "res_mii", "min_ii", "squash_distances", "EdgeView"]
 #: (src, dst, distance) triples — a distance view over the DFG's edges.
 EdgeView = list[tuple[DFGNode, DFGNode, int]]
 
+#: Per-DFG memo of the default view (identity-keyed, pinning).  DFGs are
+#: frozen once analysis hands them to the schedulers, and every
+#: schedule/pressure/simulate call on an unrelaxed design re-derives
+#: this same list; returning one shared object also lets the II search's
+#: identity-keyed context memo hit across repeated calls.  Callers
+#: treat views as read-only (squash builds its own list).
+_DEFAULT_VIEWS = PinningLRU(maxsize=1024)
+register_cache(_DEFAULT_VIEWS.clear)
+
 
 def default_edge_view(dfg: DFG) -> EdgeView:
-    return [(e.src, e.dst, e.dist) for e in dfg.edges]
+    view = _DEFAULT_VIEWS.get(id(dfg))
+    if view is None:
+        view = _DEFAULT_VIEWS.put(id(dfg), (dfg,),
+                                  [(e.src, e.dst, e.dist) for e in dfg.edges])
+    return view
 
 
 def squash_distances(dfg: DFG, sa: StageAssignment) -> EdgeView:
@@ -189,9 +203,17 @@ def rec_mii(dfg: DFG, delay: Callable[[DFGNode], int],
     as the lower bound: components that cannot raise the answer are
     dismissed with a single probe.
     """
+    from repro.hw import sched_kernel
+
     edges = edges if edges is not None else default_edge_view(dfg)
     best = 1
     for nids, arcs in _scc_arcs(list(edges), delay):
+        # the vectorized Bellman-Ford sweeps give the identical boolean
+        # verdict per probe (see sched_kernel.make_probe); None when the
+        # kernel is disabled
+        probe = sched_kernel.make_probe(nids, arcs)
+        if probe is None:
+            probe = lambda lam: _probe_exceeding(nids, arcs, lam)  # noqa: E731
         # any cycle's delay is bounded by the component's total node
         # delay (and cycle distances are >= 1): the search stops there
         hi = sum({u: dly for u, _, dly, _ in arcs}.values()) + 1
@@ -199,7 +221,7 @@ def rec_mii(dfg: DFG, delay: Callable[[DFGNode], int],
         # smallest lam with no cycle exceeding lam  ==>  this SCC's RecMII
         while lo < hi:
             mid = (lo + hi) // 2
-            if _probe_exceeding(nids, arcs, mid):
+            if probe(mid):
                 lo = mid + 1
             else:
                 hi = mid

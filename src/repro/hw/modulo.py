@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.caches import PinningLRU, register_cache
 from repro.core.dfg import DFG, DFGNode
 from repro.errors import ScheduleError
 from repro.hw.mii import EdgeView, default_edge_view, min_ii, rec_mii, res_mii
@@ -44,6 +45,20 @@ __all__ = ["ModuloSchedule", "modulo_schedule"]
 
 #: nid -> resource-name tuple; hoisted out of the placement hot loop.
 ResourceMap = dict[int, tuple[str, ...]]
+
+#: Repair rounds per (II, order) before the candidate is abandoned.
+_REPAIR_ROUNDS = 8
+
+#: Identity-keyed memo of one (dfg, lib, edges) triple's search-invariant
+#: derivations — delay/resource maps, topological order, the dense
+#: :class:`~repro.hw.sched_kernel.SchedProblem`, and (lazily) the
+#: RecMII/ResMII pair, none of which depend on ``min_ii``/``max_ii``/
+#: flavor.  The register-pressure II bump re-enters the search over the
+#: *same objects* with a raised floor; without this memo every bump
+#: re-derives all of them (RecMII's SCC decomposition dominated the
+#: vliw retarget profile).  Keys pin their objects, so ids stay valid.
+_CTX = PinningLRU(maxsize=512)
+register_cache(_CTX.clear)
 
 
 @dataclass
@@ -112,6 +127,9 @@ def _attempt(dfg: DFG, edges: EdgeView, lib: OperatorLibrary, ii: int,
         preds = _pred_map(dfg, edges, dmap)
     rmap = rmap if rmap is not None else _resource_map(dfg, lib)
     slots = slots if slots is not None else lib.resource_slots()
+
+    from repro.hw import sched_kernel
+    sched_kernel.count_python_attempt()
 
     time: dict[int, int] = {}
     rt: dict[str, dict[int, int]] = {r: {} for r in slots}
@@ -193,9 +211,27 @@ def _search(dfg: DFG, lib: OperatorLibrary, edges: EdgeView,
       still placed by the ordinary machinery, so the returned schedule
       is bit-identical to a from-scratch search's.
     """
-    from repro.hw import iimemo
+    from repro.hw import iimemo, sched_kernel
 
-    dmap = _delay_map(dfg, lib)
+    ctx_key = (id(dfg), id(lib), id(edges), sched_kernel.kernel_available())
+    ctx = _CTX.get(ctx_key)
+    if ctx is None:
+        dmap = _delay_map(dfg, lib)
+        rmap = _resource_map(dfg, lib)
+        slots = lib.resource_slots()
+        # the array core and the reference loops are bit-identical (same
+        # placement order, probing rule, repair growth, and abandonment
+        # cases); REPRO_SCHED_KERNEL=0 pins the reference for parity runs
+        prob = sched_kernel.build_problem(dfg, edges, dmap, rmap, slots)
+        ctx = _CTX.put(ctx_key, (dfg, lib, edges), {
+            "dmap": dmap, "rmap": rmap, "slots": slots,
+            "topo": dfg.topo_order(), "prob": prob,
+            "preds": None if prob is not None
+            else _pred_map(dfg, edges, dmap),
+            "mii": None})
+    dmap, rmap, slots = ctx["dmap"], ctx["rmap"], ctx["slots"]
+    topo, prob, preds = ctx["topo"], ctx["prob"], ctx["preds"]
+
     sig = record = None
     if flavor is not None:
         sig = iimemo.search_signature(dfg, lib, edges, flavor, max_ii,
@@ -205,24 +241,43 @@ def _search(dfg: DFG, lib: OperatorLibrary, edges: EdgeView,
         rmii, smii = record["rmii"], record["smii"]
         refuted = set(record["refuted"])
     else:
-        rmii = rec_mii(dfg, lambda n: dmap[n.nid], edges)
-        smii = res_mii(dfg, lib)
+        if ctx["mii"] is None:
+            ctx["mii"] = (rec_mii(dfg, lambda n: dmap[n.nid], edges),
+                          res_mii(dfg, lib))
+        rmii, smii = ctx["mii"]
         refuted = set()
     start_ii = max(rmii, smii, min_ii or 1)
     limit = max_ii or max(start_ii, sum(dmap.values())) + 1
 
-    preds = _pred_map(dfg, edges, dmap)
-    rmap = _resource_map(dfg, lib)
-    slots = lib.resource_slots()
-    topo = dfg.topo_order()
+    if prob is not None:
+        order_ids = [[n.nid for n in o] if o is not None
+                     else [n.nid for n in topo] for o in orders]
+    else:
+        order_ids = []
+
     tried: list[int] = []
     for ii in range(start_ii, limit + 1):
         if ii in refuted:
             tried.append(ii)
             continue
-        for order in orders:
+        for oi, order in enumerate(orders):
+            if prob is not None:
+                hit = sched_kernel.search_rounds(prob, ii, order_ids[oi],
+                                                 _REPAIR_ROUNDS)
+                if hit is None:
+                    continue
+                time_arr, occ, length = hit
+                rt = prob.reservation_tables(occ, ii)
+                sched = ModuloSchedule(
+                    ii=ii, time=prob.time_dict(time_arr, order_ids[oi]),
+                    rec_mii=rmii, res_mii=smii, mrt=rt.get("mem", {}),
+                    rt=rt, length=int(length))
+                if sig is not None and record is None:
+                    iimemo.memo_put(sig, {"rmii": rmii, "smii": smii,
+                                          "refuted": tried, "ii": ii})
+                return sched
             extra: dict[int, int] = {}
-            for _ in range(8):  # a few repair rounds per II and order
+            for _ in range(_REPAIR_ROUNDS):
                 sched = _attempt(dfg, edges, lib, ii, extra,
                                  order=order if order is not None else topo,
                                  dmap=dmap, preds=preds, rmap=rmap,

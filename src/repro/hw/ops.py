@@ -174,6 +174,29 @@ class OperatorLibrary:
         return replace(self, table=table)
 
 
+#: Identity-keyed per-(dfg, lib) node-delay maps: the pressure and
+#: register-area accountants re-read every producer's latency once per
+#: edge per schedule, and the register-pressure II bump re-enters them
+#: once per floor — all over the same frozen (dfg, lib) pair.  Keys pin
+#: their objects, so ids stay valid while an entry lives.
+_DELAY_MAPS = None
+
+
+def cached_delay_map(dfg, lib: OperatorLibrary) -> dict[int, int]:
+    """``node id -> lib.delay(node)`` memo for one frozen (dfg, lib)."""
+    global _DELAY_MAPS
+    if _DELAY_MAPS is None:  # deferred: ops is imported by caches' users
+        from repro.caches import PinningLRU, register_cache
+        _DELAY_MAPS = PinningLRU(maxsize=1024)
+        register_cache(_DELAY_MAPS.clear)
+    key = (id(dfg), id(lib))
+    dmap = _DELAY_MAPS.get(key)
+    if dmap is None:
+        dmap = _DELAY_MAPS.put(key, (dfg, lib),
+                               {n.nid: lib.delay(n) for n in dfg.nodes})
+    return dmap
+
+
 #: Default target: the ACEV board of §6.1 (2 memory references/cycle).
 ACEV_LIBRARY = OperatorLibrary(name="acev", mem_ports=2)
 

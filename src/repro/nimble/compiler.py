@@ -155,6 +155,7 @@ def compile_query(query: "DesignQuery") -> "DesignPoint | SkipRecord":
 
 def _cache_counters() -> dict[str, int]:
     """Snapshot of the shared-cache counters this process has seen."""
+    from repro.hw import sched_kernel
     from repro.hw.iimemo import memo_stats
     from repro.pipeline.analysis import analysis_cache
     from repro.store import analysis_store, iisearch_store
@@ -164,6 +165,9 @@ def _cache_counters() -> dict[str, int]:
     out = {"analysis_mem_hits": ana.hits, "analysis_mem_misses": ana.misses,
            "iimemo_mem_hits": ii["mem_hits"],
            "iimemo_mem_misses": ii["mem_misses"]}
+    # scheduler-core provenance: which core placed how many attempts
+    # (workers ship deltas, so sweep records show the split per phase)
+    out.update(sched_kernel.kernel_counters())
     for name, store in (("analysis", analysis_store()),
                         ("iimemo", iisearch_store())):
         for key, val in store.stats.as_dict().items():

@@ -54,7 +54,8 @@ from repro.pipeline.artifacts import AnalyzedDFG
 from repro.store import analysis_store
 
 __all__ = ["AnalysisCache", "BaseAnalysis", "analysis_cache",
-           "base_analyzed_dfg", "content_key", "squash_analyzed_dfg"]
+           "base_analyzed_dfg", "content_key", "jam_analyzed_dfg",
+           "squash_analyzed_dfg"]
 
 
 @dataclass
@@ -132,6 +133,7 @@ class AnalysisCache:
     def __init__(self, maxsize: int = 64):
         self._lru = PinningLRU(maxsize)
         self._preps = PinningLRU(maxsize)
+        self._jams = PinningLRU(maxsize)
         self._keys = PinningLRU(maxsize * 4)
 
     def __len__(self) -> int:
@@ -202,9 +204,44 @@ class AnalysisCache:
         classification (identical to a from-scratch ``check_squash``)."""
         return classify_squash(self.prep_for(program, nest), ds)
 
+    def jam_base_for(self, program: Program, nest: LoopNest,
+                     factor: int) -> Optional[BaseAnalysis]:
+        """The DFG-level jam derivation, through both tiers.
+
+        A hit — like the jammed-program memo it supersedes — skips the
+        jam legality checks (the entry exists only because they passed
+        for identical content).  Fused-nest base-legality *failures* are
+        cached like ordinary ``base-`` entries; jam-level rejections
+        raise and are never stored.  ``None`` (factor 1 degenerates to
+        the untransformed base) is not stored either — the fallthrough
+        hits the ordinary base tier.
+        """
+        from repro.core.jamdfg import derive_jam_base
+
+        key = (id(program), id(nest.outer), id(nest.inner), factor)
+        base = self._jams.get(key)
+        if base is not None:
+            return base
+        disk = analysis_store() if analysis_cache_mode() == "disk" else None
+        ckey = self._content_key(program, nest) if disk is not None else None
+        if ckey is not None:
+            base = disk.get(f"jamdfg-{ckey}-f{factor}")
+            if isinstance(base, BaseAnalysis):
+                return self._jams.put(key, (program, nest), base)
+        base = derive_jam_base(program, nest, factor)
+        if base is None:
+            return None
+        self._jams.put(key, (program, nest), base)
+        if ckey is not None:
+            import dataclasses
+            disk.put(f"jamdfg-{ckey}-f{factor}",
+                     dataclasses.replace(base, work=None, w_nest=None))
+        return base
+
     def clear(self) -> None:
         self._lru.clear()
         self._preps.clear()
+        self._jams.clear()
         self._keys.clear()
 
 
@@ -243,6 +280,30 @@ def base_analyzed_dfg(program: Program, nest: LoopNest,
     per-variant ``analyze_nest(..., ds=1)`` did.
     """
     base = _base(program, nest, cache)
+    base.check1.raise_if_failed()
+    assert base.dfg is not None and base.ssa is not None
+    return AnalyzedDFG(dfg=base.dfg, ssa=base.ssa, check=base.check1)
+
+
+def jam_analyzed_dfg(program: Program, nest: LoopNest, factor: int,
+                     cache: Optional[AnalysisCache] = None) -> AnalyzedDFG:
+    """The fused inner loop's DFG, derived without building the jammed
+    program (:mod:`repro.core.jamdfg`).
+
+    ``program``/``nest`` are the *untransformed* kernel.  Raises the
+    same :class:`~repro.errors.LegalityError`s, with the same messages,
+    as the transform-then-analyze route; ``factor == 1`` falls through
+    to the untransformed base analysis (what the degenerate jam of a
+    cloned program analyzes).
+    """
+    from repro.core.jamdfg import derive_jam_base
+
+    if cache is not None and _sharing_enabled():
+        base = cache.jam_base_for(program, nest, factor)
+    else:
+        base = derive_jam_base(program, nest, factor)
+    if base is None:
+        return base_analyzed_dfg(program, nest, cache=cache)
     base.check1.raise_if_failed()
     assert base.dfg is not None and base.ssa is not None
     return AnalyzedDFG(dfg=base.dfg, ssa=base.ssa, check=base.check1)

@@ -62,6 +62,10 @@ class TransformedNest:
     jam: int = 1
     outer_trip: int = 0
     inner_trip: int = 0
+    #: True when the jam variant deferred the transform to the analysis
+    #: stage (:mod:`repro.core.jamdfg`): ``program``/``nest`` are then
+    #: the *untransformed* kernel and the fused DFG is derived directly
+    derived_jam: bool = False
 
     @property
     def factor(self) -> int:

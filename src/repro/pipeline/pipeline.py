@@ -39,7 +39,7 @@ from repro.hw.schedulers import DEFAULT_SCHEDULER, Scheduler, \
 from repro.hw.simulate import simulate_modulo, simulate_sequential
 from repro.ir.nodes import Program
 from repro.pipeline.analysis import AnalysisCache, _sharing_enabled, \
-    analysis_cache, base_analyzed_dfg, squash_analyzed_dfg
+    analysis_cache, base_analyzed_dfg, jam_analyzed_dfg, squash_analyzed_dfg
 from repro.pipeline.artifacts import (
     AnalyzedDFG, BuiltKernel, ScheduledDesign, TransformedNest,
     ValidatedDesign,
@@ -150,8 +150,26 @@ def _find_jammed_nest(jammed: Program, nest: LoopNest, factor: int,
 
 def _jam_transform(built: BuiltKernel, ds: int, jam: int,
                    variant: str) -> TransformedNest:
-    """Unroll-and-jam by DS; re-locate the fused inner loop."""
+    """Unroll-and-jam by DS; re-locate the fused inner loop.
+
+    By default (``REPRO_DFG_JAM=1``) the transform is deferred: the
+    analysis stage derives the fused inner loop's DFG directly from the
+    untransformed nest (:mod:`repro.core.jamdfg`), skipping the two
+    whole-program clones and re-lowering.  The deferral is skipped when
+    another nest shares the outer induction variable — there the
+    program-level route's nest re-location could pick a different loop,
+    so the historical path is replayed verbatim.
+    """
     outer_trip, inner_trip = _trips(built.nest)
+    from repro.env import dfg_jam_enabled
+    if dfg_jam_enabled() and not any(
+            n.outer is not built.nest.outer
+            and n.outer.var == built.nest.outer.var
+            for n in find_loop_nests(built.program)):
+        return TransformedNest(variant=variant, program=built.program,
+                               nest=built.nest, ds=ds, jam=jam,
+                               outer_trip=outer_trip, inner_trip=inner_trip,
+                               derived_jam=True)
     jammed = _memoized_jam(built.program, built.nest, ds)
     target_nest = _find_jammed_nest(jammed, built.nest, ds, outer_trip)
     if target_nest is None:
@@ -179,6 +197,13 @@ def _jam_squash_transform(built: BuiltKernel, ds: int, jam: int,
 
 def _base_analyze(t: TransformedNest, target: Target,
                   cache: Optional[AnalysisCache]) -> AnalyzedDFG:
+    return base_analyzed_dfg(t.program, t.nest, cache=cache)
+
+
+def _jam_analyze(t: TransformedNest, target: Target,
+                 cache: Optional[AnalysisCache]) -> AnalyzedDFG:
+    if t.derived_jam:
+        return jam_analyzed_dfg(t.program, t.nest, t.ds, cache=cache)
     return base_analyzed_dfg(t.program, t.nest, cache=cache)
 
 
@@ -229,7 +254,7 @@ VARIANT_PLANS: dict[str, VariantPlan] = {
                              _registers_modulo),
     "squash": VariantPlan("squash", _identity_transform, _squash_analyze,
                           _registers_chains),
-    "jam": VariantPlan("jam", _jam_transform, _base_analyze,
+    "jam": VariantPlan("jam", _jam_transform, _jam_analyze,
                        _registers_modulo),
     "jam+squash": VariantPlan("jam+squash", _jam_squash_transform,
                               _squash_analyze, _registers_chains),

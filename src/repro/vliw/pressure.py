@@ -37,7 +37,7 @@ from repro.core.dfg import DFG
 from repro.hw.area import registers_pipelined
 from repro.hw.mii import EdgeView, default_edge_view
 from repro.hw.modulo import ModuloSchedule
-from repro.hw.ops import OperatorLibrary
+from repro.hw.ops import OperatorLibrary, cached_delay_map
 
 __all__ = ["PressureInfo", "max_live", "register_pressure",
            "rotating_copies"]
@@ -90,21 +90,46 @@ def max_live(dfg: DFG, lib: OperatorLibrary, sched: ModuloSchedule,
     # store would spuriously extend a load's lifetime.
     data_pairs = {(e.src.nid, e.dst.nid) for e in dfg.edges
                   if e.kind == "data"}
+    dmap = cached_delay_map(dfg, lib)
     start: dict[int, int] = {}
     end: dict[int, int] = {}
     for s, d, dist in edges:
         if s.kind in ("const", "store") or \
                 (s.nid, d.nid) not in data_pairs:
             continue
-        born = sched.time[s.nid] + lib.delay(s)
+        born = sched.time[s.nid] + dmap[s.nid]
         last = sched.time[d.nid] + ii * dist
         start[s.nid] = born
         end[s.nid] = max(end.get(s.nid, born), last)
-    occupancy = [0] * ii
+    # fold each lifetime into the II-cycle window in O(1): a lifetime of
+    # ``l`` cycles covers every window cycle ``l // ii`` times plus a
+    # run of ``l % ii`` cycles starting at ``born % ii`` (wrapping),
+    # accumulated as a difference array — identical to walking the
+    # lifetime cycle by cycle, without the O(II * overlap) walk
+    base = 0
+    diff = [0] * (ii + 1)
     for nid, born in start.items():
-        for t in range(born, end[nid]):
-            occupancy[t % ii] += 1
-    return max(occupancy, default=0)
+        l = end[nid] - born
+        if l <= 0:
+            continue
+        base += l // ii
+        r = l % ii
+        if r:
+            b = born % ii
+            e = b + r
+            if e <= ii:
+                diff[b] += 1
+                diff[e] -= 1
+            else:
+                diff[b] += 1
+                diff[0] += 1
+                diff[e - ii] -= 1
+    peak = run = 0
+    for c in range(ii):
+        run += diff[c]
+        if run > peak:
+            peak = run
+    return base + peak
 
 
 def register_pressure(dfg: DFG, lib: OperatorLibrary,

@@ -1,0 +1,161 @@
+"""Bit-identity of the numpy scheduler core vs the pure-Python reference.
+
+``repro.hw.sched_kernel`` re-expresses the placement/probe/repair loops
+over dense arrays; these tests pin the contract that the two cores are
+*bit-identical* — same II, same per-node start cycles, same reservation
+tables, same makespans — across seed-pinned random DFGs (``ir.randgen``
+and ``lang.fuzz`` programs), both targets, all scheduler strategies, and
+every crossing of the II-search memo (on/off) with the kernel (on/off).
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro.analysis import find_loop_nests
+from repro.hw.schedulers import scheduler_by_name
+from repro.ir.randgen import SquashNestSpec, ValueDomain, \
+    random_squashable_nest
+from repro.nimble.target import decode_target
+from repro.pipeline import CompilationPipeline
+from repro.pipeline.analysis import base_analyzed_dfg, squash_analyzed_dfg
+
+
+@pytest.fixture(autouse=True)
+def _fresh(monkeypatch):
+    repro.clear_caches()
+    monkeypatch.setenv("REPRO_ANALYSIS_CACHE", "mem")
+    yield
+    repro.clear_caches()
+
+
+def _sched_record(s):
+    if hasattr(s, "ii"):
+        return {"ii": s.ii, "time": s.time, "rt": s.rt, "mrt": s.mrt,
+                "length": s.length, "rec_mii": s.rec_mii,
+                "res_mii": s.res_mii}
+    return {"time": s.time, "length": s.length, "pu": s.port_usage,
+            "ru": s.resource_usage}
+
+
+def _random_nest(seed):
+    rng = random.Random(seed)
+    prog, outer = random_squashable_nest(rng, SquashNestSpec(), ValueDomain())
+    nest = next(n for n in find_loop_nests(prog) if n.outer is outer)
+    return prog, nest
+
+
+def _schedule_under(monkeypatch, kernel_mode, analyzed, lib, sname):
+    from repro.hw import sched_kernel
+
+    monkeypatch.setenv("REPRO_SCHED_KERNEL", kernel_mode)
+    repro.clear_caches()
+    before = dict(sched_kernel.kernel_counters())
+    sched = scheduler_by_name(sname).schedule(analyzed.dfg, lib,
+                                              edges=analyzed.edges)
+    after = sched_kernel.kernel_counters()
+    used_numpy = after["sched_kernel_numpy_attempts"] \
+        > before["sched_kernel_numpy_attempts"]
+    return _sched_record(sched), used_numpy
+
+
+class TestKernelParity:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("tspec", ["acev", "vliw4"])
+    def test_randgen_schedules_identical(self, monkeypatch, seed, tspec):
+        prog, nest = _random_nest(seed)
+        lib = decode_target(tspec).library
+        for variant_ds in (1, 2, 4):
+            if variant_ds == 1:
+                analyzed = base_analyzed_dfg(prog, nest)
+            else:
+                analyzed = squash_analyzed_dfg(prog, nest, variant_ds,
+                                               delay_fn=lib.delay)
+            for sname in ("list", "modulo", "backtrack"):
+                py, py_np = _schedule_under(monkeypatch, "0", analyzed,
+                                            lib, sname)
+                nk, nk_np = _schedule_under(monkeypatch, "1", analyzed,
+                                            lib, sname)
+                assert py == nk, f"seed {seed} ds {variant_ds} {sname}"
+                assert not py_np    # the knob really pinned the reference
+                if sname != "list":
+                    assert nk_np    # and the numpy core really ran
+
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_fuzz_source_schedules_identical(self, monkeypatch, seed):
+        from repro.analysis.loops import find_kernel_nests
+        from repro.lang import compile_source
+        from repro.lang.fuzz import SourceNestSpec, random_source_nest
+
+        rng = random.Random(seed)
+        text = random_source_nest(rng, SourceNestSpec.sample(rng))
+        prog = compile_source(text, filename=f"<parity:{seed}>")
+        nest = find_kernel_nests(prog)[0]
+        for tspec in ("acev", "vliw4"):
+            lib = decode_target(tspec).library
+            analyzed = base_analyzed_dfg(prog, nest)
+            for sname in ("modulo", "backtrack"):
+                py, _ = _schedule_under(monkeypatch, "0", analyzed,
+                                        lib, sname)
+                nk, _ = _schedule_under(monkeypatch, "1", analyzed,
+                                        lib, sname)
+                assert py == nk, f"seed {seed} {tspec} {sname}"
+
+    def test_design_points_identical(self, monkeypatch):
+        from tests.conftest import build_fig41
+
+        prog = build_fig41(m=16, n=8)
+        nest = find_loop_nests(prog)[0]
+        points = {}
+        for mode in ("0", "1"):
+            monkeypatch.setenv("REPRO_SCHED_KERNEL", mode)
+            repro.clear_caches()
+            pipe = CompilationPipeline(target=decode_target("vliw4"))
+            points[mode] = [
+                pipe.run(prog, nest, variant, ds=ds).point
+                for variant, ds in (("original", 1), ("pipelined", 1),
+                                    ("squash", 2), ("jam", 2))]
+        assert points["0"] == points["1"]
+
+    def test_memo_by_kernel_crossing_identical(self, monkeypatch):
+        """2x2 sweep: II-memo (off/warm) x kernel (python/numpy).
+
+        The memo signature deliberately excludes the kernel mode — a
+        warm memo written by one core must replay bit-identically under
+        the other — so all four crossings (plus the warm second run of
+        each memo-on leg) must agree exactly.
+        """
+        prog, nest = _random_nest(99)
+        lib = decode_target("vliw4").library
+        analyzed = base_analyzed_dfg(prog, nest)
+        records = []
+        for cache_mode in ("0", "mem"):
+            for kernel_mode in ("0", "1"):
+                monkeypatch.setenv("REPRO_ANALYSIS_CACHE", cache_mode)
+                monkeypatch.setenv("REPRO_SCHED_KERNEL", kernel_mode)
+                repro.clear_caches()
+                first = scheduler_by_name("backtrack").schedule(
+                    analyzed.dfg, lib, edges=analyzed.edges)
+                # second search: memo-warm when cache_mode enables it
+                second = scheduler_by_name("backtrack").schedule(
+                    analyzed.dfg, lib, edges=analyzed.edges)
+                records.append(_sched_record(first))
+                records.append(_sched_record(second))
+        assert all(r == records[0] for r in records[1:])
+
+    def test_counters_are_monotonic_ints(self):
+        from repro.hw import sched_kernel
+
+        c = sched_kernel.kernel_counters()
+        assert set(c) == {"sched_kernel_numpy_attempts",
+                          "sched_kernel_python_attempts"}
+        assert all(isinstance(v, int) and v >= 0 for v in c.values())
+
+    def test_kernel_mode_reports_knob(self, monkeypatch):
+        from repro.hw import sched_kernel
+
+        monkeypatch.setenv("REPRO_SCHED_KERNEL", "0")
+        assert sched_kernel.kernel_mode() == "python"
+        monkeypatch.setenv("REPRO_SCHED_KERNEL", "1")
+        assert sched_kernel.kernel_mode() in ("numpy", "python")

@@ -81,9 +81,21 @@ class TestStageArtifacts:
         assert a.stages is not None and a.stages.ds == 4
         assert a.chains is not None and a.edges is not None
 
-    def test_jam_transform_rewrites_program(self, fig41_nest):
+    def test_jam_transform_defers_to_analysis(self, fig41_nest):
+        # default: the transform stage defers and the fused DFG is
+        # derived directly from the untransformed nest (repro.core.jamdfg)
         prog, nest = fig41_nest
         run = CompilationPipeline().run(prog, nest, "jam", ds=2)
+        assert run.transformed.derived_jam
+        assert run.transformed.program is prog
+        assert run.transformed.outer_trip == 32   # pre-transform trips
+        assert run.transformed.inner_trip == 16
+
+    def test_jam_transform_rewrites_program(self, fig41_nest, monkeypatch):
+        monkeypatch.setenv("REPRO_DFG_JAM", "0")
+        prog, nest = fig41_nest
+        run = CompilationPipeline().run(prog, nest, "jam", ds=2)
+        assert not run.transformed.derived_jam
         assert run.transformed.program is not prog
         assert run.transformed.outer_trip == 32   # pre-transform trips
         assert run.transformed.inner_trip == 16
