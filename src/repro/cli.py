@@ -22,6 +22,15 @@ Commands
 ``compile``     compile a ``.lang`` source kernel (see :mod:`repro.lang`)
                 through the pipeline: diagnostics, optional functional
                 verification, and original/squash hardware estimates;
+``verify``      recompile a set of designs with the independent artifact
+                verifiers (:mod:`repro.verify`) forced on and report a
+                per-design verdict; exit 1 if any design fails
+                verification (legality/schedule rejects count as skips,
+                not failures);
+``lint``        statically lint ``.lang`` source files — unused
+                declarations, out-of-bounds subscripts, literal
+                overflow/narrowing, squashability pre-diagnosis — with
+                no scheduling;
 ``profile``     Table 1.1-style loop profile of one benchmark;
 ``squash``      transform one benchmark kernel, verify it, and report the
                 hardware estimate;
@@ -179,6 +188,99 @@ def _cmd_bench(args) -> int:
         print(f"GOLDEN DRIFT: {golden['detail']}", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_verify(args) -> int:
+    import os
+
+    from repro.analysis import find_kernel_nests
+    from repro.env import VERIFY_ENV
+    from repro.errors import LegalityError, ScheduleError, VerifyError
+    from repro.nimble.target import decode_target
+    from repro.pipeline import CompilationPipeline
+    from repro.workloads import benchmark_by_name
+
+    kernels = list(args.kernel or [])
+    if args.source:
+        from repro.lang.loader import lang_spec
+        kernels += [lang_spec(path) for path in args.source]
+    if not kernels:
+        print("verify needs at least one --kernel or --source",
+              file=sys.stderr)
+        return 2
+
+    designs = []
+    for variant in args.variants:
+        if variant in ("original", "pipelined"):
+            designs.append((variant, 1, 1))
+        elif variant == "jam+squash":
+            designs += [(variant, ds, j) for ds in args.factors
+                        for j in args.jam_factors]
+        else:
+            designs += [(variant, ds, 1) for ds in args.factors]
+
+    checked = skipped = failed = 0
+    saved = os.environ.get(VERIFY_ENV)
+    os.environ[VERIFY_ENV] = args.mode
+    try:
+        target = decode_target(args.target)
+        pipe = CompilationPipeline(target, scheduler=args.scheduler or None)
+        for name in kernels:
+            bm = benchmark_by_name(name)
+            prog = bm.build(**(bm.small_kwargs or bm.eval_kwargs or {}))
+            nests = find_kernel_nests(prog)
+            if not nests:
+                print(f"{bm.name}: no '#pragma kernel' nest — skipped")
+                continue
+            nest = nests[0]
+            for variant, ds, jam in designs:
+                label = variant if ds == 1 else f"{variant}({ds})"
+                where = f"{bm.name}/{label} [{args.target}]"
+                try:
+                    run = pipe.run(prog, nest, variant, ds=ds, jam=jam)
+                except (LegalityError, ScheduleError) as exc:
+                    skipped += 1
+                    print(f"{where}: skip ({exc})")
+                    continue
+                except VerifyError as exc:
+                    failed += 1
+                    print(f"{where}: FAIL")
+                    for f in exc.findings:
+                        print(f"  {f}")
+                    continue
+                checked += 1
+                print(f"{where}: ok (II={run.point.ii}, "
+                      f"length={run.point.schedule_length})")
+    finally:
+        if saved is None:
+            os.environ.pop(VERIFY_ENV, None)
+        else:
+            os.environ[VERIFY_ENV] = saved
+    print(f"verified {checked} design(s) in {args.mode} mode, "
+          f"{skipped} skipped, {failed} failed")
+    return 1 if failed else 0
+
+
+def _cmd_lint(args) -> int:
+    from repro.verify import lint_file
+
+    worst = 0
+    for path in args.files:
+        try:
+            findings = lint_file(path)
+        except OSError as exc:
+            print(f"cannot read {path}: {exc}", file=sys.stderr)
+            worst = max(worst, 2)
+            continue
+        for f in findings:
+            print(f.render(str(path)))
+        if any(f.severity == "error" for f in findings):
+            worst = max(worst, 1)
+        elif findings and args.strict:
+            worst = max(worst, 1)
+        elif not findings:
+            print(f"{path}: clean")
+    return worst
 
 
 def _cmd_profile(args) -> int:
@@ -387,6 +489,37 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--baseline",
                    help="baseline JSON ({cold_wall_s, ...}) for speedups")
     b.set_defaults(fn=_cmd_bench)
+
+    v = sub.add_parser(
+        "verify", help="recompile designs with the independent artifact "
+                       "verifiers forced on")
+    v.add_argument("--kernel", action="append", default=None,
+                   help="benchmark kernel (repeatable; see `repro list`)")
+    v.add_argument("--source", action="append", default=None,
+                   help=".lang source kernel file (repeatable)")
+    v.add_argument("--variants", nargs="+",
+                   default=["original", "pipelined", "squash", "jam"],
+                   choices=["original", "pipelined", "squash", "jam",
+                            "jam+squash"])
+    v.add_argument("--factors", type=int, nargs="+", default=[2, 4],
+                   help="DS factors for squash/jam")
+    v.add_argument("--jam-factors", type=int, nargs="+", default=[2],
+                   help="J factors for jam+squash")
+    v.add_argument("--target", default="acev",
+                   help="target spec (same grammar as explore --target)")
+    v.add_argument("--scheduler", default="",
+                   help="strategy for pipelined variants (default: target's)")
+    v.add_argument("--mode", default="strict", choices=["on", "strict"],
+                   help="verifier depth (default: strict, including the "
+                        "MaxLive/MII/exact-II re-derivations)")
+    v.set_defaults(fn=_cmd_verify)
+
+    ln = sub.add_parser(
+        "lint", help="statically lint .lang sources (no scheduling)")
+    ln.add_argument("files", nargs="+", help=".lang source files")
+    ln.add_argument("--strict", action="store_true",
+                    help="exit 1 on warnings too, not just errors")
+    ln.set_defaults(fn=_cmd_lint)
 
     pr = sub.add_parser("profile", help="loop profile of one benchmark")
     pr.add_argument("benchmark")

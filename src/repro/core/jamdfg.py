@@ -77,7 +77,10 @@ def fused_nest(program: Program, nest: LoopNest, factor: int
     """
     outer, inner = nest.outer, nest.inner
     trip = trip_count(outer)
-    assert trip is not None and 1 <= factor <= trip
+    if trip is None or not 1 <= factor <= trip:
+        raise LegalityError(
+            f"jam factor {factor} is not within the outer trip count "
+            f"({trip}); the caller must clamp before deriving")
     main_trips = (trip // factor) * factor
     lo = int(outer.lo.value)        # type: ignore[union-attr]
     step = outer.step
@@ -175,8 +178,7 @@ def derive_jam_base(program: Program, nest: LoopNest, factor: int):
         extra.add(w_inner.var)
     ssa = ssa_rename(w_inner.body, shim.scalar_type, extra_live_in=extra)
 
-    live = check1.liveness
-    assert live is not None
+    live = check1.require_liveness()
     rom_arrays = frozenset(n for n, d in shim.arrays.items() if d.rom)
     carried = {x for x in live.carried if x in ssa.entry}
     invariant = {x for x in ssa.entry

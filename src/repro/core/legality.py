@@ -24,7 +24,7 @@ from repro.analysis.loops import LoopNest, trip_count
 from repro.analysis.parallel import ParallelismReport, check_outer_parallel
 from repro.analysis.ssa import is_straightline
 from repro.analysis.usedef import LoopLiveness, loop_liveness, uses_of_expr
-from repro.errors import LegalityError
+from repro.errors import LegalityError, ReproError
 from repro.ir.nodes import Program
 from repro.ir.visitors import variables_written
 
@@ -50,6 +50,20 @@ class SquashCheck:
     def raise_if_failed(self) -> None:
         if not self.ok:
             raise LegalityError("unroll-and-squash rejected", self.reasons)
+
+    def require_liveness(self) -> LoopLiveness:
+        """The recorded liveness summary; a passing check always has one.
+
+        A passing check without it is a corrupted or hand-built artifact
+        (e.g. a stale analysis-cache entry), reported as a
+        :class:`~repro.errors.ReproError` instead of an ``assert`` so the
+        failure survives ``python -O`` and names its cause.
+        """
+        if self.liveness is None:
+            raise ReproError(
+                "legality check passed but recorded no liveness summary "
+                "— stale or hand-built SquashCheck artifact")
+        return self.liveness
 
 
 @dataclass
@@ -187,7 +201,11 @@ def classify_squash(prep: PreparedSquash, ds: int) -> SquashCheck:
         return chk
 
     rep = ParallelismReport()
-    assert prep.scalar_conflicts is not None and prep.pairs is not None
+    if prep.scalar_conflicts is None or prep.pairs is None:
+        raise ReproError(
+            "classify_squash needs the parallel analysis, but this "
+            "PreparedSquash never ran it despite passing the base "
+            "checks — corrupted or hand-built artifact")
     if prep.scalar_conflicts:
         rep.scalar_conflicts = prep.scalar_conflicts
         rep.fail(f"outer-carried scalar dependences on "

@@ -130,8 +130,7 @@ def analyze_nest(program: Program, nest: LoopNest, ds: int,
     check = check_squash(program, nest, ds)
     check.raise_if_failed()
 
-    live = check.liveness
-    assert live is not None
+    live = check.require_liveness()
     work, w_nest, ssa, dfg, _, _ = analyze_front(program, nest, live)
     sa = assign_stages(dfg, ds, delay_fn or default_delay)
     # re-derive live-out for chain accounting
@@ -185,8 +184,7 @@ def unroll_and_squash(program: Program, nest: LoopNest, ds: int,
 
     work, w_nest, ssa, dfg, sa, check = analyze_nest(program, nest, ds,
                                                      delay_fn)
-    live = check.liveness
-    assert live is not None
+    live = check.require_liveness()
     carried = {x for x in live.carried if x in ssa.entry}
     invariant = {x for x in ssa.entry
                  if x not in carried and x != w_nest.inner.var}

@@ -16,8 +16,8 @@ from typing import Optional
 from repro.errors import ReproError
 
 __all__ = ["ANALYSIS_CACHE_ENV", "DFG_JAM_ENV", "SCHED_KERNEL_ENV",
-           "analysis_cache_mode", "dfg_jam_enabled", "env_int",
-           "sched_kernel_enabled"]
+           "VERIFY_ENV", "analysis_cache_mode", "dfg_jam_enabled",
+           "env_int", "sched_kernel_enabled", "verify_mode"]
 
 #: Controls the shared-analysis machinery (see :mod:`repro.pipeline.analysis`
 #: and :mod:`repro.hw.iimemo`): ``"0"`` disables sharing entirely (the
@@ -37,6 +37,15 @@ SCHED_KERNEL_ENV = "REPRO_SCHED_KERNEL"
 #: directly, skipping the whole-program clone.  Both produce identical
 #: artifacts — the knob exists for differential testing.
 DFG_JAM_ENV = "REPRO_DFG_JAM"
+
+#: Controls the static artifact verifiers (see :mod:`repro.verify`): unset/
+#: ``"0"``/``"off"`` (default) keeps the hot path unchecked, ``"1"``/``"on"``
+#: re-verifies every DFG, SSA block, edge view, and schedule between pipeline
+#: stages, and ``"strict"`` adds the re-derivation cross-checks (independent
+#: MaxLive recount, MII lower bounds, ``exact_ii`` certificates).  Tests and
+#: CI run with it on; verified artifacts are byte-identical to unverified
+#: ones — the checkers only observe.
+VERIFY_ENV = "REPRO_VERIFY"
 
 
 def env_int(name: str, default: Optional[int],
@@ -79,3 +88,24 @@ def sched_kernel_enabled() -> bool:
 def dfg_jam_enabled() -> bool:
     """True unless ``REPRO_DFG_JAM=0`` pins the re-lowering jam path."""
     return os.environ.get(DFG_JAM_ENV, "1").strip() != "0"
+
+
+def verify_mode() -> str:
+    """The artifact-verifier mode: ``"off"``, ``"on"``, or ``"strict"``.
+
+    Unrecognized values raise :class:`ReproError` naming the variable
+    and the accepted spellings, like every other knob.
+    """
+    raw = os.environ.get(VERIFY_ENV)
+    if raw is None:
+        return "off"
+    val = raw.strip().lower()
+    if val in ("", "0", "off"):
+        return "off"
+    if val in ("1", "on"):
+        return "on"
+    if val == "strict":
+        return "strict"
+    raise ReproError(
+        f"{VERIFY_ENV}={raw!r} is not a recognized mode; "
+        "use 0/off, 1/on, or strict")

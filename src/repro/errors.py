@@ -65,5 +65,20 @@ class ScheduleError(ReproError):
     """The hardware scheduler could not produce a legal schedule."""
 
 
+class VerifyError(ReproError):
+    """An independent verifier rejected a pipeline artifact.
+
+    Raised by the :mod:`repro.verify` checkers when a DFG, SSA block,
+    edge view, schedule, or derived claim (MaxLive, ``exact_ii``)
+    violates an invariant.  ``findings`` carries the individual
+    located diagnostics (:class:`repro.verify.findings.Finding`); the
+    message lists them so a sweep failure is self-describing.
+    """
+
+    def __init__(self, message: str, findings: "list | None" = None):
+        super().__init__(message)
+        self.findings: list = findings if findings is not None else []
+
+
 class InterpError(ReproError):
     """Runtime failure while interpreting an IR program."""

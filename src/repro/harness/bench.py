@@ -41,7 +41,10 @@ __all__ = ["format_bench", "run_sweep_bench"]
 #: 3 = golden tables checked on every run (f2 slice), added the
 #: ``sched_hotpath`` phase (schedule-only numpy-vs-python A/B) and the
 #: ``sched_kernel`` provenance field.
-SCHEMA = 3
+#: 4 = added the ``verify_overhead`` phase: the warm-recompile sweep
+#: re-run with ``REPRO_VERIFY=1``, recording the verifier wall-time
+#: delta (``overhead_s``) and asserting verified results are identical.
+SCHEMA = 4
 
 
 def _golden_dir() -> pathlib.Path:
@@ -181,8 +184,31 @@ def run_sweep_bench(factors: Sequence[int] = (2, 4, 8, 16),
         raise RuntimeError("warm recompile produced different results "
                            "than the cold sweep — cache corruption")
 
+    # the same fresh-worker sweep again with the artifact verifiers on:
+    # the wall-time delta against warm_recompile is the verifier tax,
+    # and the results must be byte-identical (the checkers only observe)
+    from repro.env import VERIFY_ENV
+    clear_caches(memory_only=True)
+    ResultCache().clear()
+    saved_verify = os.environ.get(VERIFY_ENV)
+    os.environ[VERIFY_ENV] = "1"
+    try:
+        verify_overhead, verify_result = _phase(queries, jobs)
+    finally:
+        if saved_verify is None:
+            os.environ.pop(VERIFY_ENV, None)
+        else:
+            os.environ[VERIFY_ENV] = saved_verify
+    if verify_result.results != recompile_result.results:  # pragma: no cover
+        raise RuntimeError("the artifact verifiers changed sweep results "
+                           "— REPRO_VERIFY must be observation-only")
+    verify_overhead["mode"] = "on"
+    verify_overhead["overhead_s"] = round(
+        verify_overhead["wall_s"] - warm_recompile["wall_s"], 4)
+
     phases = {"cold": cold, "warm_result": warm_result,
-              "warm_recompile": warm_recompile}
+              "warm_recompile": warm_recompile,
+              "verify_overhead": verify_overhead}
     if vliw_spec and not target_spec.startswith(vliw_spec.split("::")[0]):
         # second backend, warm front-end: the result cache misses (the
         # target participates in the query hash) but the shared base
@@ -296,7 +322,9 @@ def format_bench(record: dict) -> str:
                      f"result-cache {rc['hit_rate']:.0%} hit"
                      + (f"  [{stages}]" if stages else "")
                      + (f"  ({phase['skipped_designs']} designs rejected)"
-                        if phase.get("skipped_designs") else ""))
+                        if phase.get("skipped_designs") else "")
+                     + (f"  (verifier tax {phase['overhead_s']:+.3f}s)"
+                        if "overhead_s" in phase else ""))
     golden = record.get("golden", {})
     if golden.get("checked"):
         lines.append("  golden tables:  "

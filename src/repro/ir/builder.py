@@ -37,6 +37,9 @@ from repro.ir.types import I32, ScalarType
 
 __all__ = ["ProgramBuilder", "ArrayHandle"]
 
+#: One subscript or a tuple of subscripts, Python scalars included.
+IndexLike = Union[ExprLike, tuple[ExprLike, ...]]
+
 
 class ArrayHandle:
     """A named array bound to a builder; supports ``arr[i]`` and ``arr[i] = v``."""
@@ -49,7 +52,7 @@ class ArrayHandle:
     def name(self) -> str:
         return self.decl.name
 
-    def _index_tuple(self, index) -> tuple[Expr, ...]:
+    def _index_tuple(self, index: "IndexLike") -> tuple[Expr, ...]:
         idx = index if isinstance(index, tuple) else (index,)
         if len(idx) != len(self.decl.shape):
             raise IRError(
@@ -57,10 +60,10 @@ class ArrayHandle:
                 f"got {len(idx)} subscripts")
         return tuple(as_expr(i, hint=I32) for i in idx)
 
-    def __getitem__(self, index) -> Load:
+    def __getitem__(self, index: "IndexLike") -> Load:
         return Load(self.name, self._index_tuple(index), self.decl.ty)
 
-    def __setitem__(self, index, value: ExprLike) -> None:
+    def __setitem__(self, index: "IndexLike", value: ExprLike) -> None:
         if self.decl.rom:
             raise IRError(f"cannot store to ROM array {self.name!r}")
         self._builder.emit(Store(self.name, self._index_tuple(index),
@@ -76,7 +79,7 @@ class _LoopCtx:
         self.builder._stack.append(self.loop.body)
         return Var(self.loop.var, I32)
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.builder._stack.pop()
 
 
@@ -88,7 +91,7 @@ class _IfCtx:
     def __enter__(self) -> None:
         self.builder._stack.append(self.block)
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.builder._stack.pop()
 
 
@@ -160,7 +163,8 @@ class ProgramBuilder:
         self.emit(Assign(name, e))
         return Var(name, ty)
 
-    def store(self, array: Union[ArrayHandle, str], index, value: ExprLike) -> None:
+    def store(self, array: Union[ArrayHandle, str], index: "IndexLike",
+              value: ExprLike) -> None:
         """Emit an array element store (``arr[index] = value``)."""
         handle = array if isinstance(array, ArrayHandle) else \
             ArrayHandle(self, self.program.arrays[array])
@@ -173,7 +177,7 @@ class ProgramBuilder:
     # -- control flow ----------------------------------------------------------
 
     def loop(self, var: str, lo: ExprLike, hi: ExprLike, step: int = 1,
-             kernel: bool = False, **annotations) -> _LoopCtx:
+             kernel: bool = False, **annotations: bool) -> _LoopCtx:
         """Open a counted loop; use as ``with b.loop("i", 0, M) as i:``.
 
         ``kernel=True`` marks the loop the way Nimble users annotated

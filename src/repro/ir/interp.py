@@ -25,7 +25,7 @@ Semantics notes (shared by both engines):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 import numpy as np
 
@@ -50,6 +50,9 @@ __all__ = [
 #: what the thesis's profiling front-end effectively measured (basic-block
 #: execution traces).  The hardware layer supplies latency-weighted models.
 UNIT_COSTS: dict[str, int] = {}
+
+#: Runtime scalar values: ints (bools flow as 0/1) and floats.
+Scalar = Union[int, float]
 
 CostModel = Callable[[str, ScalarType], int]
 
@@ -125,7 +128,8 @@ def _int_mod(a: int, b: int) -> int:
     return a - _int_div(a, b) * b
 
 
-def eval_binop(op: str, a, b, ty: ScalarType):
+def eval_binop(op: str, a: "Scalar", b: "Scalar",
+               ty: ScalarType) -> "Scalar":
     """Evaluate one binary operation under IR semantics (shared helper)."""
     if op == "add":
         r = a + b
@@ -172,7 +176,7 @@ def eval_binop(op: str, a, b, ty: ScalarType):
     return wrap_int(int(r), ty)
 
 
-def cast_value(v, ty: ScalarType):
+def cast_value(v: "Scalar", ty: ScalarType) -> "Scalar":
     """Scalar conversion used by Cast, Assign, and Store."""
     if ty.is_float:
         v = float(v)
@@ -251,7 +255,7 @@ class Interpreter:
         for rec in self._stack:
             rec.inclusive_cost += c
 
-    def _eval(self, e: Expr):
+    def _eval(self, e: Expr) -> "Scalar":
         if isinstance(e, Const):
             return e.value
         if isinstance(e, Var):

@@ -83,33 +83,33 @@ class Expr:
         lhs, rhs = (other_e, self) if reflected else (self, other_e)
         return BinOp(op, lhs, rhs)
 
-    def __add__(self, o): return self._bin("add", o)
-    def __radd__(self, o): return self._bin("add", o, True)
-    def __sub__(self, o): return self._bin("sub", o)
-    def __rsub__(self, o): return self._bin("sub", o, True)
-    def __mul__(self, o): return self._bin("mul", o)
-    def __rmul__(self, o): return self._bin("mul", o, True)
-    def __floordiv__(self, o): return self._bin("div", o)
-    def __rfloordiv__(self, o): return self._bin("div", o, True)
-    def __truediv__(self, o): return self._bin("div", o)
-    def __rtruediv__(self, o): return self._bin("div", o, True)
-    def __mod__(self, o): return self._bin("mod", o)
-    def __rmod__(self, o): return self._bin("mod", o, True)
-    def __and__(self, o): return self._bin("and", o)
-    def __rand__(self, o): return self._bin("and", o, True)
-    def __or__(self, o): return self._bin("or", o)
-    def __ror__(self, o): return self._bin("or", o, True)
-    def __xor__(self, o): return self._bin("xor", o)
-    def __rxor__(self, o): return self._bin("xor", o, True)
-    def __lshift__(self, o): return self._bin("shl", o)
-    def __rshift__(self, o): return self._bin("shr", o)
-    def __neg__(self): return UnOp("neg", self)
-    def __invert__(self): return UnOp("not", self)
+    def __add__(self, o: "ExprLike") -> "BinOp": return self._bin("add", o)
+    def __radd__(self, o: "ExprLike") -> "BinOp": return self._bin("add", o, True)
+    def __sub__(self, o: "ExprLike") -> "BinOp": return self._bin("sub", o)
+    def __rsub__(self, o: "ExprLike") -> "BinOp": return self._bin("sub", o, True)
+    def __mul__(self, o: "ExprLike") -> "BinOp": return self._bin("mul", o)
+    def __rmul__(self, o: "ExprLike") -> "BinOp": return self._bin("mul", o, True)
+    def __floordiv__(self, o: "ExprLike") -> "BinOp": return self._bin("div", o)
+    def __rfloordiv__(self, o: "ExprLike") -> "BinOp": return self._bin("div", o, True)
+    def __truediv__(self, o: "ExprLike") -> "BinOp": return self._bin("div", o)
+    def __rtruediv__(self, o: "ExprLike") -> "BinOp": return self._bin("div", o, True)
+    def __mod__(self, o: "ExprLike") -> "BinOp": return self._bin("mod", o)
+    def __rmod__(self, o: "ExprLike") -> "BinOp": return self._bin("mod", o, True)
+    def __and__(self, o: "ExprLike") -> "BinOp": return self._bin("and", o)
+    def __rand__(self, o: "ExprLike") -> "BinOp": return self._bin("and", o, True)
+    def __or__(self, o: "ExprLike") -> "BinOp": return self._bin("or", o)
+    def __ror__(self, o: "ExprLike") -> "BinOp": return self._bin("or", o, True)
+    def __xor__(self, o: "ExprLike") -> "BinOp": return self._bin("xor", o)
+    def __rxor__(self, o: "ExprLike") -> "BinOp": return self._bin("xor", o, True)
+    def __lshift__(self, o: "ExprLike") -> "BinOp": return self._bin("shl", o)
+    def __rshift__(self, o: "ExprLike") -> "BinOp": return self._bin("shr", o)
+    def __neg__(self) -> "UnOp": return UnOp("neg", self)
+    def __invert__(self) -> "UnOp": return UnOp("not", self)
 
-    def __lt__(self, o): return self._bin("lt", o)
-    def __le__(self, o): return self._bin("le", o)
-    def __gt__(self, o): return self._bin("gt", o)
-    def __ge__(self, o): return self._bin("ge", o)
+    def __lt__(self, o: "ExprLike") -> "BinOp": return self._bin("lt", o)
+    def __le__(self, o: "ExprLike") -> "BinOp": return self._bin("le", o)
+    def __gt__(self, o: "ExprLike") -> "BinOp": return self._bin("gt", o)
+    def __ge__(self, o: "ExprLike") -> "BinOp": return self._bin("ge", o)
     # NB: __eq__/__ne__ keep identity semantics (nodes are dict keys);
     # use .eq()/.ne() to build comparisons.
 
@@ -177,7 +177,7 @@ class Const(Expr):
     value: Union[int, float, bool]
     ty: ScalarType = I32
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.ty.is_float:
             from repro.ir.types import wrap_int
             self.value = wrap_int(int(self.value), self.ty)
@@ -202,7 +202,7 @@ class BinOp(Expr):
     rhs: Expr
     ty: ScalarType = field(init=False)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.op not in BINOPS:
             raise IRError(f"unknown binary operator {self.op!r}")
         if self.op in CMP_OPS:
@@ -226,7 +226,7 @@ class UnOp(Expr):
     operand: Expr
     ty: ScalarType = field(init=False)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.op not in UNOPS:
             raise IRError(f"unknown unary operator {self.op!r}")
         if self.op == "not" and self.operand.ty.is_float:
@@ -245,7 +245,7 @@ class Load(Expr):
     index: tuple[Expr, ...]
     ty: ScalarType = I32
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if isinstance(self.index, Expr):
             self.index = (self.index,)
         else:
@@ -264,7 +264,7 @@ class Select(Expr):
     iffalse: Expr
     ty: ScalarType = field(init=False)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.ty = unify(self.iftrue.ty, self.iffalse.ty)
 
     def children(self) -> tuple[Expr, ...]:
@@ -310,7 +310,7 @@ class Store(Stmt):
     index: tuple[Expr, ...]
     value: Expr
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if isinstance(self.index, Expr):
             self.index = (self.index,)
         else:
@@ -347,7 +347,7 @@ class For(Stmt):
     #: Compiler's user-annotated kernel selection.
     annotations: dict = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.step == 0:
             raise IRError("loop step must be non-zero")
 
@@ -390,7 +390,7 @@ class ArrayDecl:
     init: Optional[np.ndarray] = None
     output: bool = False
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.shape = tuple(int(s) for s in self.shape)
         if self.rom and self.init is None:
             raise IRError(f"ROM array {self.name!r} must have initial contents")

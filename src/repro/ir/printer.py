@@ -20,8 +20,8 @@ statement tree, same constant types).  Concretely that means:
 from __future__ import annotations
 
 from repro.ir.nodes import (
-    Assign, BinOp, Block, Cast, Const, Expr, For, If, Load, Program, Select,
-    Stmt, Store, UnOp, Var,
+    ArrayDecl, Assign, BinOp, Block, Cast, Const, Expr, For, If, Load,
+    Program, Select, Stmt, Store, UnOp, Var,
 )
 from repro.ir.types import F64, I32, ScalarType
 
@@ -53,7 +53,7 @@ def _prec(e: Expr) -> int:
     return 10
 
 
-def const_to_str(value, ty: ScalarType) -> str:
+def const_to_str(value: "int | float | bool", ty: ScalarType) -> str:
     """Render one constant with its re-parsable type suffix.
 
     ``i32`` integers and ``f64`` floats are the literal defaults and
@@ -151,7 +151,7 @@ def _kernel_name(name: str) -> str:
     return f'"{name}"'
 
 
-def _init_to_str(decl, pad: str) -> str:
+def _init_to_str(decl: "ArrayDecl", pad: str) -> str:
     """Array initializer literal, wrapped at a readable width."""
     flat = decl.init.reshape(-1)
     if decl.ty.is_float:

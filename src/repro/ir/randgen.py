@@ -26,7 +26,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.ir.builder import ProgramBuilder
-from repro.ir.nodes import BinOp, Const, Expr, Load, Select, UnOp, Var, as_expr
+from repro.ir.nodes import (
+    BinOp, Const, Expr, For, Load, Program, Select, UnOp, Var, as_expr,
+)
 from repro.ir.types import F64, I16, I32, I64, I8, U16, U32, U8, ScalarType
 
 __all__ = ["RandConfig", "random_program", "random_squashable_nest",
@@ -179,7 +181,7 @@ class _Gen:
             self.block(depth + 1)
             self.loop_vars.pop()
 
-    def build(self):
+    def build(self) -> Program:
         r = self.rng
         cfg = self.cfg
         for i in range(cfg.n_arrays):
@@ -201,7 +203,8 @@ class _Gen:
         return self.b.build()
 
 
-def random_program(rng: random.Random, cfg: RandConfig | None = None):
+def random_program(rng: random.Random,
+                   cfg: RandConfig | None = None) -> Program:
     """Generate a random valid program (see module docstring)."""
     return _Gen(rng, cfg or RandConfig()).build()
 
@@ -226,7 +229,8 @@ class SquashNestSpec:
 
 def random_squashable_nest(rng: random.Random,
                            spec: SquashNestSpec | None = None,
-                           domain: ValueDomain | None = None):
+                           domain: ValueDomain | None = None,
+                           ) -> tuple[Program, For]:
     """Generate ``(program, outer_loop)`` satisfying the squash requirements.
 
     Construction guarantees (mirroring thesis §4.1):
@@ -283,6 +287,5 @@ def random_squashable_nest(rng: random.Random,
         out[i] = acc
 
     prog = b.build()
-    outer = next(s for s in prog.body.stmts
-                 if s.__class__.__name__ == "For")
+    outer = next(s for s in prog.body.stmts if isinstance(s, For))
     return prog, outer

@@ -113,7 +113,7 @@ def _check_stmt(p: Program, s: Stmt, defined: set[str],
     return defined
 
 
-def _assigns(s: Stmt):
+def _assigns(s: Stmt) -> list[Assign]:
     from repro.ir.visitors import walk_stmts
     return [st for st in walk_stmts(s) if isinstance(st, Assign)]
 

@@ -20,8 +20,8 @@ from __future__ import annotations
 from typing import Callable, Iterator, Mapping, Optional
 
 from repro.ir.nodes import (
-    Assign, BinOp, Block, Cast, Const, Expr, For, If, Load, Select, Stmt,
-    Store, UnOp, Var,
+    Assign, BinOp, Block, Cast, Const, Expr, For, If, Load, Program, Select,
+    Stmt, Store, UnOp, Var,
 )
 
 __all__ = [
@@ -113,7 +113,7 @@ def clone_stmt(s: Stmt) -> Stmt:
     raise TypeError(f"unknown statement node {type(s).__name__}")
 
 
-def clone_program(p) -> "Program":
+def clone_program(p: "Program") -> "Program":
     """Deep copy a :class:`~repro.ir.nodes.Program` (shares array init data)."""
     from repro.ir.nodes import ArrayDecl, Program
     arrays = {
@@ -261,7 +261,7 @@ def count_nodes(s: Stmt) -> int:
 # Structural equality (tests)
 # ---------------------------------------------------------------------------
 
-def structurally_equal(a, b) -> bool:
+def structurally_equal(a: object, b: object) -> bool:
     """Structural (not identity) comparison of two expressions or statements."""
     if type(a) is not type(b):
         return False

@@ -100,7 +100,11 @@ class VLIWTarget(Target):
 
     def _machine(self, suffix: str, **changes) -> "VLIWTarget":
         lib = self.library
-        assert hasattr(lib, "with_machine")
+        if not hasattr(lib, "with_machine"):
+            raise ReproError(
+                f"target {self.name!r} carries a "
+                f"{type(lib).__name__} that supports no machine "
+                "modifiers; use a VLIW operator library")
         return self._derive(suffix, lib.with_machine(**changes))
 
     def modifier_names(self) -> tuple[str, ...]:

@@ -48,6 +48,7 @@ from repro.core.legality import PreparedSquash, SquashCheck, check_squash, \
 from repro.core.stages import assign_stages, default_delay, register_chains
 from repro.core.squash import analyze_front, analyze_nest
 from repro.env import analysis_cache_mode
+from repro.errors import ReproError
 from repro.hw.mii import squash_distances
 from repro.ir.nodes import Program
 from repro.pipeline.artifacts import AnalyzedDFG
@@ -83,8 +84,7 @@ def _build_base(program: Program, nest: LoopNest,
         check = check_squash(program, nest, 1)
     if not check.ok:
         return BaseAnalysis(check1=check)
-    live = check.liveness
-    assert live is not None
+    live = check.require_liveness()
     work, w_nest, ssa, dfg, carried, invariant = \
         analyze_front(program, nest, live)
     return BaseAnalysis(check1=check, work=work, w_nest=w_nest, ssa=ssa,
@@ -281,7 +281,10 @@ def base_analyzed_dfg(program: Program, nest: LoopNest,
     """
     base = _base(program, nest, cache)
     base.check1.raise_if_failed()
-    assert base.dfg is not None and base.ssa is not None
+    if base.dfg is None or base.ssa is None:
+        raise ReproError(
+            "base analysis passed legality but carries no DFG/SSA — "
+            "stale or corrupted analysis-cache entry")
     return AnalyzedDFG(dfg=base.dfg, ssa=base.ssa, check=base.check1)
 
 
@@ -305,7 +308,10 @@ def jam_analyzed_dfg(program: Program, nest: LoopNest, factor: int,
     if base is None:
         return base_analyzed_dfg(program, nest, cache=cache)
     base.check1.raise_if_failed()
-    assert base.dfg is not None and base.ssa is not None
+    if base.dfg is None or base.ssa is None:
+        raise ReproError(
+            "jam base analysis passed legality but carries no DFG/SSA — "
+            "stale or corrupted analysis-cache entry")
     return AnalyzedDFG(dfg=base.dfg, ssa=base.ssa, check=base.check1)
 
 
@@ -326,8 +332,7 @@ def squash_analyzed_dfg(program: Program, nest: LoopNest, ds: int,
         # to the uncached full analysis, exactly as the old path behaved.
         _, w_nest, ssa, dfg, sa, check = analyze_nest(program, nest, ds,
                                                       delay_fn=delay_fn)
-        live = check.liveness
-        assert live is not None
+        live = check.require_liveness()
         carried = {x for x in live.carried if x in ssa.entry}
         invariant = {x for x in ssa.entry
                      if x not in carried and x != w_nest.inner.var}
@@ -335,8 +340,7 @@ def squash_analyzed_dfg(program: Program, nest: LoopNest, ds: int,
         ssa, dfg = base.ssa, base.dfg
         carried, invariant = base.carried, base.invariant
         sa = assign_stages(dfg, ds, delay_fn or default_delay)
-    live = check.liveness
-    assert live is not None
+    live = check.require_liveness()
     chains = register_chains(dfg, sa, carried, invariant,
                              live.live_out, ssa.exit)
     edges = squash_distances(dfg, sa)

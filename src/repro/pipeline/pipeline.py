@@ -15,9 +15,19 @@ scheduler for pipelined variants is resolved by name from
 this module.
 
 Errors raised mid-pipeline (:class:`~repro.errors.LegalityError`,
-:class:`~repro.errors.ScheduleError`) are re-raised with full
+:class:`~repro.errors.ScheduleError`,
+:class:`~repro.errors.VerifyError`) are re-raised with full
 provenance — kernel, variant label, target, scheduler — so a failed
 design in a thousand-point sweep names itself.
+
+When the validated ``REPRO_VERIFY`` knob (:func:`repro.env.verify_mode`)
+is ``on`` or ``strict``, the independent checkers in :mod:`repro.verify`
+re-examine the analyzed DFG after the analyze stage and the schedule
+after the schedule stage; ``strict`` additionally re-derives the MII
+lower bounds, the MaxLive count, and the ``exact_ii`` certificate behind
+each reported design point.  The checkers only observe — results are
+byte-identical with the knob on or off — and their cost lands in a
+dedicated ``verify`` stage-timing bucket.
 """
 
 from __future__ import annotations
@@ -28,7 +38,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 from repro.analysis.loops import LoopNest, find_loop_nests, trip_count
 from repro.caches import PinningLRU, register_cache
 from repro.core.squash import locate_jammed_nest
-from repro.errors import LegalityError, ScheduleError
+from repro.errors import LegalityError, ScheduleError, VerifyError
 from repro.hw.area import operator_rows, registers_original, \
     registers_pipelined
 from repro.hw.exact import ExactSchedule
@@ -220,13 +230,20 @@ def _registers_base(a: AnalyzedDFG, target: Target,
 
 def _registers_modulo(a: AnalyzedDFG, target: Target,
                       s: ScheduledDesign) -> int:
-    assert isinstance(s.schedule, ModuloSchedule)
+    if not isinstance(s.schedule, ModuloSchedule):
+        raise ScheduleError(
+            f"the {s.scheduler!r} scheduler produced a "
+            f"{type(s.schedule).__name__} where the register model needs "
+            "a modulo schedule")
     return registers_pipelined(a.dfg, target.library, s.schedule)
 
 
 def _registers_chains(a: AnalyzedDFG, target: Target,
                       s: ScheduledDesign) -> int:
-    assert a.chains is not None
+    if a.chains is None:
+        raise ScheduleError(
+            "squash register model needs the delay-chain analysis, but "
+            "this AnalyzedDFG carries none")
     return max(a.chains.total_registers, registers_original(a.dfg))
 
 
@@ -417,6 +434,10 @@ class CompilationPipeline:
                              f"have {tuple(VARIANT_PLANS)}")
         from time import perf_counter
 
+        from repro.env import verify_mode
+
+        mode = verify_mode()
+        strict = mode == "strict"
         built = BuiltKernel(program=program, nest=nest)
         stage = "transform"
         t0 = perf_counter()
@@ -428,17 +449,36 @@ class CompilationPipeline:
             analyzed = plan.analyze(transformed, self.target, self.cache)
             t1 = perf_counter()
             _record_stage("analyze", t1 - t0)
+            if mode != "off":
+                from repro.verify import verify_analyzed
+                stage, t0 = "verify", t1
+                verify_analyzed(analyzed, self.target.library,
+                                strict=strict)
+                t1 = perf_counter()
+                _record_stage("verify", t1 - t0)
             stage, t0 = "schedule", t1
             scheduled = self._schedule(plan, analyzed)
             t1 = perf_counter()
             _record_stage("schedule", t1 - t0)
+            if mode != "off":
+                from repro.verify import verify_scheduled
+                stage, t0 = "verify", t1
+                verify_scheduled(scheduled, self.target.library,
+                                 strict=strict)
+                t1 = perf_counter()
+                _record_stage("verify", t1 - t0)
             stage, t0 = "validate", t1
             validated = self._validate(plan, scheduled)
             _record_stage("validate", perf_counter() - t0)
-        except (LegalityError, ScheduleError) as exc:
+            point = self._report(built, transformed, scheduled, base_ii)
+            if strict:
+                from repro.verify import verify_design_point
+                stage, t0 = "verify", perf_counter()
+                verify_design_point(point, analyzed, self.target.library)
+                _record_stage("verify", perf_counter() - t0)
+        except (LegalityError, ScheduleError, VerifyError) as exc:
             _record_stage(stage, perf_counter() - t0)
             raise self._with_provenance(exc, built, variant, ds, jam) from exc
-        point = self._report(built, transformed, scheduled, base_ii)
         return PipelineRun(built=built, transformed=transformed,
                            analyzed=analyzed, scheduled=scheduled,
                            validated=validated, point=point)
@@ -462,6 +502,8 @@ class CompilationPipeline:
                  f"scheduler={sched}]")
         if isinstance(exc, LegalityError):
             out: Exception = LegalityError(f"{where}: {exc}", exc.reasons)
+        elif isinstance(exc, VerifyError):
+            out = VerifyError(f"{where}: {exc}", exc.findings)
         else:
             out = ScheduleError(f"{where}: {exc}")
         out.provenance = where  # type: ignore[attr-defined]

@@ -69,5 +69,8 @@ def parent_of(program: Program, target: Stmt) -> tuple[Block, int]:
     if path is None or not path or not isinstance(path[-1], int):
         raise LegalityError("statement has no enclosing block")
     parent = stmt_at(program.body, path[:-1])
-    assert isinstance(parent, Block)
+    if not isinstance(parent, Block):
+        raise LegalityError(
+            f"statement's parent is a {type(parent).__name__}, not a "
+            "Block — the program tree is malformed")
     return parent, path[-1]

@@ -1,0 +1,41 @@
+"""Independent static verification of pipeline artifacts.
+
+This package is the paper reproduction's safety net: checkers that
+*re-derive* the invariants the compiler relies on instead of trusting
+the data structures that claim them.  Three layers:
+
+* :mod:`repro.verify.structural` — DFG/SSA/edge-view well-formedness;
+* :mod:`repro.verify.schedule` — an independent re-verifier that
+  re-checks every modulo-scheduling precedence constraint and rebuilds
+  the reservation table from scratch, deliberately sharing no code with
+  :mod:`repro.hw.modulo` or :mod:`repro.hw.sched_kernel`, plus
+  strict-mode re-derivations (MaxLive recount, MII lower bounds);
+* :mod:`repro.verify.lint` — a scheduling-free static linter for
+  ``.lang`` sources.
+
+The pipeline calls the first two between stages when the validated
+``REPRO_VERIFY`` knob (:func:`repro.env.verify_mode`) is ``on`` or
+``strict``; ``repro verify`` and ``repro lint`` expose them from the
+command line.  All checkers are observers: enabling them never changes
+any artifact or result.
+"""
+
+from repro.verify.findings import Finding, raise_findings
+from repro.verify.lint import (
+    LintFinding, format_lint, lint_file, lint_source,
+)
+from repro.verify.schedule import (
+    crosscheck_pressure, independent_rec_mii, independent_res_mii,
+    reverify_list, reverify_modulo, verify_design_point, verify_scheduled,
+)
+from repro.verify.structural import (
+    check_dfg, check_edge_view, check_ssa, verify_analyzed,
+)
+
+__all__ = [
+    "Finding", "LintFinding", "check_dfg", "check_edge_view", "check_ssa",
+    "crosscheck_pressure", "format_lint", "independent_rec_mii",
+    "independent_res_mii", "lint_file", "lint_source", "raise_findings",
+    "reverify_list", "reverify_modulo", "verify_analyzed",
+    "verify_design_point", "verify_scheduled",
+]

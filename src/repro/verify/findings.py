@@ -1,0 +1,54 @@
+"""Located diagnostics for the static artifact verifiers.
+
+Every checker in :mod:`repro.verify` reports problems as
+:class:`Finding` values — a checker name, an anchor naming the exact
+node/edge/claim, and the violated invariant — instead of raising on the
+first hit, so one corrupted artifact surfaces *all* of its violations
+and the mutation-corpus tests can assert that a seeded corruption trips
+exactly the intended checker.  :func:`raise_findings` converts a
+non-empty list into a :class:`~repro.errors.VerifyError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import VerifyError
+
+__all__ = ["Finding", "raise_findings"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violated invariant, located in its artifact.
+
+    Attributes
+    ----------
+    checker:
+        Dotted checker name, e.g. ``"dfg.acyclic"`` or
+        ``"schedule.precedence"`` — stable identifiers the mutation
+        corpus asserts against.
+    where:
+        The anchor inside the artifact: an edge rendering, a node id,
+        an SSA version, a reservation-table row.
+    message:
+        The invariant that does not hold, with the observed values.
+    """
+
+    checker: str
+    where: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.checker} @ {self.where}: {self.message}"
+
+
+def raise_findings(artifact: str, findings: Sequence[Finding]) -> None:
+    """Raise :class:`VerifyError` listing ``findings`` (no-op if none)."""
+    if not findings:
+        return
+    head = (f"{artifact} failed verification "
+            f"({len(findings)} finding{'s' if len(findings) != 1 else ''})")
+    body = "; ".join(str(f) for f in findings)
+    raise VerifyError(f"{head}: {body}", list(findings))

@@ -1,0 +1,267 @@
+"""Structural invariant checkers for front-end pipeline artifacts.
+
+One checker per artifact class, each a pure observer returning
+:class:`~repro.verify.findings.Finding` lists:
+
+* :func:`check_dfg` — DFG well-formedness: node-index integrity, edge
+  endpoints present, distances non-negative, edges into register nodes
+  loop-carried, the distance-0 subgraph acyclic (its own Kahn walk, not
+  :meth:`~repro.core.dfg.DFG.topo_order`), and every node's operator
+  spec and resource classes resolvable against the
+  :class:`~repro.hw.ops.OperatorLibrary`;
+* :func:`check_ssa` — single definition per SSA version, no
+  use-before-def, ``name@0`` entry naming, exit versions defined, and a
+  type recorded for every version;
+* :func:`check_edge_view` — a relaxed/derived edge view still covers
+  exactly the DFG's edge multiset with non-negative distances;
+* :func:`verify_analyzed` — the per-stage hook over a whole
+  :class:`~repro.pipeline.artifacts.AnalyzedDFG`, raising
+  :class:`~repro.errors.VerifyError` on any finding.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.analysis.ssa import SSABlock, base_name
+from repro.core.dfg import DFG, DFGEdge, DFGNode
+from repro.hw.mii import EdgeView
+from repro.hw.ops import OperatorLibrary
+from repro.ir.nodes import (
+    Assign, BinOp, Cast, Const, Expr, Load, Select, Store, UnOp, Var,
+)
+from repro.verify.findings import Finding, raise_findings
+
+if TYPE_CHECKING:  # break the verify <-> pipeline import cycle
+    from repro.pipeline.artifacts import AnalyzedDFG
+
+__all__ = ["check_dfg", "check_edge_view", "check_ssa", "verify_analyzed"]
+
+_EDGE_KINDS = frozenset({"data", "mem"})
+
+
+def _edge_str(e: DFGEdge) -> str:
+    return f"{e.src!r} -> {e.dst!r} (dist {e.dist}, {e.kind})"
+
+
+def check_dfg(dfg: DFG, lib: Optional[OperatorLibrary] = None
+              ) -> list[Finding]:
+    """DFG well-formedness findings (empty when the graph is sound)."""
+    out: list[Finding] = []
+
+    # -- node table: nid is the index, identities are unique ------------
+    by_id = {id(n) for n in dfg.nodes}
+    for i, n in enumerate(dfg.nodes):
+        if n.nid != i:
+            out.append(Finding(
+                "dfg.node-index", repr(n),
+                f"node at index {i} carries nid {n.nid}"))
+
+    # -- edges: endpoints in the graph, sane distance and kind ----------
+    for e in dfg.edges:
+        for end, label in ((e.src, "source"), (e.dst, "destination")):
+            if id(end) not in by_id:
+                out.append(Finding(
+                    "dfg.edge-endpoint", _edge_str(e),
+                    f"{label} node is not in the graph's node table"))
+        if e.dist < 0:
+            out.append(Finding(
+                "dfg.edge-distance", _edge_str(e),
+                f"dependence distance {e.dist} is negative"))
+        if e.kind not in _EDGE_KINDS:
+            out.append(Finding(
+                "dfg.edge-kind", _edge_str(e),
+                f"unknown edge kind {e.kind!r}; expected data or mem"))
+        # writes reach registers only across an iteration boundary: the
+        # register holds the value live *into* the next iteration, so an
+        # intra-iteration edge into a reg node is a corrupted backedge
+        if e.dst.kind == "reg" and e.dist == 0 and id(e.dst) in by_id:
+            out.append(Finding(
+                "dfg.reg-backedge", _edge_str(e),
+                "edge into a register node must be loop-carried "
+                "(distance >= 1)"))
+
+    # -- distance-0 subgraph acyclic (independent Kahn peel) ------------
+    indeg = {id(n): 0 for n in dfg.nodes}
+    succs: dict[int, list[DFGNode]] = {id(n): [] for n in dfg.nodes}
+    ok_edges = [e for e in dfg.edges
+                if id(e.src) in by_id and id(e.dst) in by_id]
+    for e in ok_edges:
+        if e.dist == 0:
+            indeg[id(e.dst)] += 1
+            succs[id(e.src)].append(e.dst)
+    frontier = [n for n in dfg.nodes if indeg[id(n)] == 0]
+    seen = 0
+    while frontier:
+        n = frontier.pop()
+        seen += 1
+        for m in succs[id(n)]:
+            indeg[id(m)] -= 1
+            if indeg[id(m)] == 0:
+                frontier.append(m)
+    if seen != len(dfg.nodes):
+        stuck = [repr(n) for n in dfg.nodes if indeg[id(n)] > 0]
+        out.append(Finding(
+            "dfg.acyclic", ", ".join(stuck[:4]),
+            f"distance-0 subgraph has a cycle through {len(stuck)} "
+            "node(s)"))
+
+    # -- defs table points into the graph -------------------------------
+    for version, node in dfg.defs.items():
+        if id(node) not in by_id:
+            out.append(Finding(
+                "dfg.defs", version,
+                "SSA version maps to a node outside the graph"))
+
+    # -- operator specs and resource classes resolve --------------------
+    if lib is not None:
+        known = set(lib.resource_slots())
+        for n in dfg.nodes:
+            try:
+                spec = lib.spec(n)
+            except KeyError as exc:
+                out.append(Finding(
+                    "dfg.operator-spec", repr(n), str(exc.args[0])))
+                continue
+            if spec.delay < 0:
+                out.append(Finding(
+                    "dfg.operator-spec", repr(n),
+                    f"negative delay {spec.delay}"))
+            for r in lib.node_resources(n):
+                if r not in known:
+                    out.append(Finding(
+                        "dfg.resource-class", repr(n),
+                        f"occupies unknown resource {r!r}; the library "
+                        f"declares {sorted(known)}"))
+    return out
+
+
+def _expr_reads(e: Expr) -> Iterator[str]:
+    """All SSA versions an expression reads (post-rename leaves)."""
+    if isinstance(e, Var):
+        yield e.name
+    elif isinstance(e, Const):
+        return
+    elif isinstance(e, BinOp):
+        yield from _expr_reads(e.lhs)
+        yield from _expr_reads(e.rhs)
+    elif isinstance(e, UnOp):
+        yield from _expr_reads(e.operand)
+    elif isinstance(e, Select):
+        yield from _expr_reads(e.cond)
+        yield from _expr_reads(e.iftrue)
+        yield from _expr_reads(e.iffalse)
+    elif isinstance(e, Cast):
+        yield from _expr_reads(e.operand)
+    elif isinstance(e, Load):
+        for i in e.index:
+            yield from _expr_reads(i)
+
+
+def check_ssa(ssa: SSABlock) -> list[Finding]:
+    """SSA invariants: single def, defs dominate uses, typed versions."""
+    out: list[Finding] = []
+    defined: set[str] = set()
+
+    for name, version in ssa.entry.items():
+        if base_name(version) != name:
+            out.append(Finding(
+                "ssa.entry", version,
+                f"entry version of {name!r} renames a different base "
+                "variable"))
+        if version in defined:
+            out.append(Finding(
+                "ssa.single-def", version,
+                "entry version declared twice"))
+        defined.add(version)
+
+    def check_reads(e: Expr, where: str) -> None:
+        for v in _expr_reads(e):
+            if v not in defined:
+                out.append(Finding(
+                    "ssa.use-before-def", where,
+                    f"reads {v!r} before any definition"))
+
+    for i, s in enumerate(ssa.stmts):
+        if isinstance(s, Assign):
+            where = f"stmt {i}: {s.var}"
+            check_reads(s.expr, where)
+            if s.var in defined:
+                out.append(Finding(
+                    "ssa.single-def", where,
+                    f"version {s.var!r} is defined more than once"))
+            defined.add(s.var)
+        elif isinstance(s, Store):
+            where = f"stmt {i}: store {s.array}"
+            for idx in s.index:
+                check_reads(idx, where)
+            check_reads(s.value, where)
+        else:
+            out.append(Finding(
+                "ssa.shape", f"stmt {i}",
+                f"unexpected statement {type(s).__name__} in a "
+                "straight-line SSA block"))
+
+    for name, version in ssa.exit.items():
+        if version not in defined:
+            out.append(Finding(
+                "ssa.exit", version,
+                f"exit version of {name!r} is never defined"))
+    for version in defined:
+        if version not in ssa.types:
+            out.append(Finding(
+                "ssa.types", version, "version has no recorded type"))
+    return out
+
+
+def check_edge_view(dfg: DFG, edges: EdgeView) -> list[Finding]:
+    """A derived edge view must cover the DFG's edges exactly.
+
+    Squash relaxation (:func:`repro.hw.mii.squash_distances`) rewrites
+    *distances* but never adds or drops dependences, so the multiset of
+    ``(src, dst)`` pairs must match the graph's edge list pair for pair,
+    and every relaxed distance must stay non-negative.
+    """
+    out: list[Finding] = []
+    by_id = {id(n) for n in dfg.nodes}
+
+    expected: dict[tuple[int, int], int] = {}
+    for e in dfg.edges:
+        key = (e.src.nid, e.dst.nid)
+        expected[key] = expected.get(key, 0) + 1
+    got: dict[tuple[int, int], int] = {}
+    for s, d, dist in edges:
+        got[(s.nid, d.nid)] = got.get((s.nid, d.nid), 0) + 1
+        if id(s) not in by_id or id(d) not in by_id:
+            out.append(Finding(
+                "view.endpoint", f"{s!r} -> {d!r}",
+                "view edge endpoint is not in the graph"))
+        if dist < 0:
+            out.append(Finding(
+                "view.distance", f"{s!r} -> {d!r}",
+                f"relaxed distance {dist} is negative"))
+    for key in sorted(set(expected) | set(got)):
+        want, have = expected.get(key, 0), got.get(key, 0)
+        if want != have:
+            out.append(Finding(
+                "view.edge-set", f"edge {key[0]} -> {key[1]}",
+                f"graph has {want} edge(s) here but the view carries "
+                f"{have} — a dependence was "
+                + ("dropped" if have < want else "invented")))
+    return out
+
+
+def verify_analyzed(analyzed: "AnalyzedDFG", lib: OperatorLibrary,
+                    strict: bool = False) -> None:
+    """Verify one :class:`~repro.pipeline.artifacts.AnalyzedDFG`.
+
+    Raises :class:`~repro.errors.VerifyError` listing every violated
+    invariant; returns silently on a sound artifact.  ``strict``
+    currently adds nothing here (the expensive re-derivations live in
+    :mod:`repro.verify.schedule`) but keeps the hook signature uniform.
+    """
+    findings = check_dfg(analyzed.dfg, lib)
+    findings += check_ssa(analyzed.ssa)
+    if analyzed.edges is not None:
+        findings += check_edge_view(analyzed.dfg, analyzed.edges)
+    raise_findings("analyzed DFG", findings)

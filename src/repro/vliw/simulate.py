@@ -120,7 +120,10 @@ class _Replay:
         type (assignment-cast semantics survive copy aliasing)."""
         if isinstance(leaf, Const):
             return leaf.value
-        assert isinstance(leaf, Var)
+        if not isinstance(leaf, Var):
+            raise ReproError(
+                f"simulator read a non-3AC leaf {type(leaf).__name__} — "
+                "the scheduled DFG was not built from flattened statements")
         node = self.dfg.defs[leaf.name]
         return cast_value(self.vals[(node.nid, k)],
                           self.ssa.types[leaf.name])

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ReproError
 from repro.ir.builder import ProgramBuilder
 from repro.ir.nodes import Program, Select
 from repro.ir.types import I32, U8, U16
@@ -56,7 +57,10 @@ ad 04 23 9c 14 51 22 f0 29 79 71 7e ff 8c 0e e2
 
 #: The declassified Skipjack F permutation (256 bytes).
 F_TABLE: tuple[int, ...] = tuple(int(x, 16) for x in _F_HEX.split())
-assert len(F_TABLE) == 256 and len(set(F_TABLE)) == 256
+if len(F_TABLE) != 256 or len(set(F_TABLE)) != 256:
+    raise ReproError(
+        "embedded Skipjack F table is not a 256-byte permutation — "
+        "the source constant was corrupted")
 
 #: NIST sample key and the known-answer vector.
 DEFAULT_KEY = bytes.fromhex("00998877665544332211")

@@ -152,7 +152,7 @@ class TestBatching:
         qs = FAST.enumerate()
         cold = evaluate(qs, jobs=1, cache=ResultCache(tmp_path))
         assert set(cold.stage_seconds) <= \
-            {"transform", "analyze", "schedule", "validate"}
+            {"transform", "analyze", "schedule", "validate", "verify"}
         assert sum(cold.stage_seconds.values()) > 0
         warm = evaluate(qs, jobs=1, cache=ResultCache(tmp_path))
         assert warm.stage_seconds == {}  # all hits: no worker time

@@ -3,7 +3,7 @@ and the worker-count scaling rules."""
 
 import pytest
 
-from repro.env import analysis_cache_mode, env_int
+from repro.env import analysis_cache_mode, env_int, verify_mode
 from repro.errors import ReproError
 from repro.explore.engine import (
     _MAX_DEFAULT_JOBS, _MAX_SCALED_JOBS, default_jobs,
@@ -106,3 +106,24 @@ class TestAnalysisCacheMode:
     def test_modes(self, monkeypatch, raw, mode):
         monkeypatch.setenv("REPRO_ANALYSIS_CACHE", raw)
         assert analysis_cache_mode() == mode
+
+
+class TestVerifyMode:
+    @pytest.mark.parametrize("raw,mode", [
+        ("0", "off"), ("off", "off"), ("", "off"), ("  ", "off"),
+        ("1", "on"), ("on", "on"), ("ON", "on"),
+        ("strict", "strict"), ("STRICT", "strict"),
+    ])
+    def test_modes(self, monkeypatch, raw, mode):
+        monkeypatch.setenv("REPRO_VERIFY", raw)
+        assert verify_mode() == mode
+
+    def test_unset_defaults_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VERIFY", raising=False)
+        assert verify_mode() == "off"
+
+    @pytest.mark.parametrize("raw", ["2", "yes", "paranoid"])
+    def test_garbage_raises_repro_error(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_VERIFY", raw)
+        with pytest.raises(ReproError, match="REPRO_VERIFY"):
+            verify_mode()
