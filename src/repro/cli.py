@@ -122,8 +122,9 @@ def _cmd_tables(args) -> int:
 
 def _cmd_explore(args) -> int:
     from repro.explore import (
-        DesignSpace, NullCache, ResultCache, evaluate, format_best,
-        format_pareto, format_skips, format_summary,
+        DesignSpace, NullCache, ResultCache, SweepInterrupted, evaluate,
+        format_best, format_fails, format_pareto, format_skips,
+        format_summary,
     )
 
     kernels = list(args.kernel or [])
@@ -145,8 +146,22 @@ def _cmd_explore(args) -> int:
     )
     if args.clear_cache:  # honor the clear even when bypassing the cache
         ResultCache(args.cache_dir).clear()
+    if getattr(args, "resume", False) and args.no_cache:
+        print("--resume needs the result cache; drop --no-cache",
+              file=sys.stderr)
+        return 2
     cache = NullCache() if args.no_cache else ResultCache(args.cache_dir)
-    result = evaluate(space.enumerate(), jobs=args.jobs, cache=cache)
+    try:
+        result = evaluate(space.enumerate(), jobs=args.jobs, cache=cache,
+                          retries=args.retries,
+                          batch_timeout=args.timeout)
+    except SweepInterrupted as exc:
+        # completed batches were committed before the pool came down
+        print(f"\ninterrupted: {exc}", file=sys.stderr)
+        if not args.no_cache:
+            print("resume with the same command (add --resume to make "
+                  "the intent explicit)", file=sys.stderr)
+        return 130
 
     sections = [format_summary(result)]
     if args.pareto:
@@ -156,6 +171,9 @@ def _cmd_explore(args) -> int:
     skips = format_skips(result)
     if skips:
         sections.append(skips)
+    fails = format_fails(result)
+    if fails:
+        sections.append(fails)
     text = "\n".join(sections)
     print(text)
     if args.out:
@@ -163,7 +181,8 @@ def _cmd_explore(args) -> int:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(text + "\n")
         print(f"wrote {path}")
-    return 0
+    # quarantines are not silent: the sweep "succeeded" only partially
+    return 3 if result.fails() else 0
 
 
 def _cmd_bench(args) -> int:
@@ -453,6 +472,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "default: the target's)")
     e.add_argument("--jobs", type=int, default=None,
                    help="parallel workers (default: cores, capped)")
+    e.add_argument("--retries", type=int, default=None,
+                   help="re-dispatches of a failing batch before "
+                        "bisection/quarantine (default: $REPRO_RETRIES "
+                        "or 2)")
+    e.add_argument("--timeout", type=float, default=None,
+                   help="per-batch wall-clock budget in seconds; "
+                        "overrunning batches are presumed hung "
+                        "(default: $REPRO_BATCH_TIMEOUT or off)")
+    e.add_argument("--resume", action="store_true",
+                   help="resume an interrupted sweep from the result "
+                        "cache (the default behavior; this flag just "
+                        "states the intent and rejects --no-cache)")
     e.add_argument("--pareto", action="store_true",
                    help="print the per-kernel Pareto frontier")
     e.add_argument("--best", action="store_true",
@@ -481,7 +512,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="strategy for pipelined variants (default: target's)")
     b.add_argument("--jobs", type=int, default=None,
                    help="workers per phase (default: scaled to the sweep)")
-    b.add_argument("--out", default="BENCH_7.json",
+    b.add_argument("--out", default="BENCH_9.json",
                    help="where to write the JSON record")
     b.add_argument("--vliw-target", default="vliw4",
                    help="second-backend retarget phase spec "

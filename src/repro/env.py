@@ -15,9 +15,11 @@ from typing import Optional
 
 from repro.errors import ReproError
 
-__all__ = ["ANALYSIS_CACHE_ENV", "DFG_JAM_ENV", "SCHED_KERNEL_ENV",
-           "VERIFY_ENV", "analysis_cache_mode", "dfg_jam_enabled",
-           "env_int", "sched_kernel_enabled", "verify_mode"]
+__all__ = ["ANALYSIS_CACHE_ENV", "BATCH_TIMEOUT_ENV", "DFG_JAM_ENV",
+           "RETRIES_ENV", "SCHED_KERNEL_ENV", "VERIFY_ENV",
+           "analysis_cache_mode", "batch_timeout", "dfg_jam_enabled",
+           "env_float", "env_int", "retries", "sched_kernel_enabled",
+           "verify_mode"]
 
 #: Controls the shared-analysis machinery (see :mod:`repro.pipeline.analysis`
 #: and :mod:`repro.hw.iimemo`): ``"0"`` disables sharing entirely (the
@@ -47,6 +49,22 @@ DFG_JAM_ENV = "REPRO_DFG_JAM"
 #: ones — the checkers only observe.
 VERIFY_ENV = "REPRO_VERIFY"
 
+#: How many times the supervised engine re-dispatches a failing batch
+#: (worker crash, straggler timeout, or an exception the compiler did
+#: not classify) before bisecting it toward the culprit query.  0 means
+#: quarantine on the first failure.
+RETRIES_ENV = "REPRO_RETRIES"
+
+#: Per-batch wall-clock budget in seconds, measured from dispatch.  A
+#: batch that overruns it is presumed hung: the pool is torn down,
+#: respawned, and the survivors re-dispatched.  Unset disables the
+#: straggler watchdog (the default — real batches have no natural bound
+#: the engine could guess).
+BATCH_TIMEOUT_ENV = "REPRO_BATCH_TIMEOUT"
+
+#: Default retry budget when neither the CLI nor the env chooses.
+DEFAULT_RETRIES = 2
+
 
 def env_int(name: str, default: Optional[int],
             minimum: Optional[int] = None) -> Optional[int]:
@@ -68,6 +86,52 @@ def env_int(name: str, default: Optional[int],
         raise ReproError(
             f"{name}={raw!r} is out of range; the minimum is {minimum}")
     return val
+
+
+def env_float(name: str, default: Optional[float],
+              minimum: Optional[float] = None,
+              exclusive: bool = False) -> Optional[float]:
+    """Read a float knob; unset/empty returns ``default``.
+
+    Non-numeric or out-of-range values raise :class:`ReproError` naming
+    the variable and the accepted range.  ``exclusive`` makes the
+    ``minimum`` bound strict (e.g. a timeout must be > 0).
+    """
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        val = float(raw)
+    except ValueError:
+        raise ReproError(
+            f"{name}={raw!r} is not a number; set it to a value"
+            + (f" {'>' if exclusive else '>='} {minimum}"
+               if minimum is not None else "")) from None
+    if minimum is not None and (val < minimum
+                                or (exclusive and val == minimum)):
+        raise ReproError(
+            f"{name}={raw!r} is out of range; it must be "
+            f"{'>' if exclusive else '>='} {minimum}")
+    return val
+
+
+def retries(override: Optional[int] = None) -> int:
+    """The engine's retry budget: explicit override, env, or default."""
+    if override is not None:
+        if override < 0:
+            raise ReproError(f"retries must be >= 0, got {override}")
+        return override
+    return env_int(RETRIES_ENV, DEFAULT_RETRIES, minimum=0) or 0
+
+
+def batch_timeout(override: Optional[float] = None) -> Optional[float]:
+    """The per-batch wall-clock budget (seconds), or ``None`` when off."""
+    if override is not None:
+        if override <= 0:
+            raise ReproError(
+                f"the batch timeout must be > 0 seconds, got {override}")
+        return override
+    return env_float(BATCH_TIMEOUT_ENV, None, minimum=0.0, exclusive=True)
 
 
 def analysis_cache_mode() -> str:

@@ -12,7 +12,8 @@ Quick tour::
 """
 
 from repro.explore.space import (  # noqa: F401
-    VARIANTS, DesignQuery, DesignSpace, SkipRecord, table_sweep_space,
+    VARIANTS, DesignQuery, DesignSpace, FailRecord, SkipRecord,
+    table_sweep_space,
 )
 from repro.explore.cache import (  # noqa: F401
     CacheStats, NullCache, ResultCache, code_version, default_cache_dir,
@@ -20,10 +21,13 @@ from repro.explore.cache import (  # noqa: F401
 from repro.explore.engine import (  # noqa: F401
     ExploreResult, default_jobs, evaluate,
 )
+from repro.explore.supervise import (  # noqa: F401
+    SuperviseStats, SweepInterrupted,
+)
 from repro.explore.pareto import (  # noqa: F401
     OBJECTIVES, best_designs, dominates, pareto_front, pareto_queries,
 )
 from repro.explore.report import (  # noqa: F401
-    format_best, format_cache_stats, format_pareto, format_skips,
-    format_summary,
+    format_best, format_cache_stats, format_fails, format_pareto,
+    format_skips, format_summary,
 )

@@ -73,6 +73,8 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: appends deliberately torn by fault injection (chaos tests only)
+    torn: int = 0
 
     @property
     def lookups(self) -> int:
@@ -83,8 +85,11 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def describe(self) -> str:
-        return (f"{self.hits} hits, {self.misses} misses "
+        base = (f"{self.hits} hits, {self.misses} misses "
                 f"({self.hit_rate:.0%} hit rate), {self.stores} stored")
+        if self.torn:
+            base += f", {self.torn} torn"
+        return base
 
 
 class NullCache:
@@ -160,9 +165,19 @@ class ResultCache:
             return
         index[query.query_hash] = rec
         self.directory.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(rec, sort_keys=True) + "\n"
+        from repro.faults import torn_write
+        if torn_write("cache", query.query_hash):
+            # Chaos injection: the appender died mid-line — half the
+            # record, no newline.  The in-memory index keeps the real
+            # result (this process computed it), but a fresh load must
+            # drop the line and treat the query as a miss.
+            line = line[:max(1, len(line) // 2)].rstrip("\n")
+            self.stats.torn += 1
+        else:
+            self.stats.stores += 1
         with self.path.open("a") as fh:
-            fh.write(json.dumps(rec, sort_keys=True) + "\n")
-        self.stats.stores += 1
+            fh.write(line)
 
     def clear(self) -> None:
         """Drop every stored result (all code versions)."""

@@ -1,36 +1,45 @@
-"""Parallel design-space evaluation engine.
+"""Parallel design-space evaluation engine with supervised dispatch.
 
-Fans :class:`DesignQuery` objects out over a
-``concurrent.futures.ProcessPoolExecutor``, consulting a persistent
-:class:`ResultCache` first so repeated sweeps are incremental.  Designs
-the compiler rejects — ``LegalityError`` / ``ScheduleError`` — come back
-as structured :class:`SkipRecord` entries instead of crashing the sweep;
-every other exception still propagates.
+Fans :class:`DesignQuery` objects out over a process pool through the
+fault-tolerant supervisor (:mod:`repro.explore.supervise`), consulting a
+persistent :class:`ResultCache` first so repeated sweeps are
+incremental.  Designs the compiler rejects — ``LegalityError`` /
+``ScheduleError`` — come back as structured :class:`SkipRecord` entries;
+queries whose *evaluation* fails (worker crash, straggler timeout,
+unclassified exception) are retried, bisected to the culprit, and
+quarantined as :class:`FailRecord` entries instead of aborting the sweep.
 
 The unit of dispatch is a *batch*: cache-missing queries are grouped by
 ``(kernel, variant)`` so one worker ships each kernel once and compiles
 all its targets, factors, and schedulers against the shared base
 analysis (and the shared II-search memo) instead of re-running the
 front-end in every process that happens to receive one of its queries.
+Each batch's results commit to the cache **as the batch lands**, so an
+interrupted, crashed, or killed sweep resumes from the cache —
+recompiling only the unfinished batches — instead of restarting.
 
 The worker, :func:`repro.nimble.compiler.compile_query`, is a pure
 function of the query, so results are independent of worker count,
-batch shape, and arrival order: ``evaluate(qs, jobs=1)`` and
-``evaluate(qs, jobs=8)`` return identical points.
+batch shape, arrival order, and retry history: ``evaluate(qs, jobs=1)``
+and ``evaluate(qs, jobs=8)`` return identical points, with or without
+injected faults (:mod:`repro.faults`).
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+from repro import env as env_knobs
 from repro.env import env_int
 from repro.explore.cache import CacheStats, NullCache, ResultCache
-from repro.explore.space import DesignQuery, SkipRecord
+from repro.explore.space import DesignQuery, FailRecord, SkipRecord
+from repro.explore.supervise import (
+    BatchFailure, SuperviseStats, run_inline, run_supervised,
+)
 from repro.hw.report import DesignPoint
-from repro.nimble.compiler import compile_query, compile_query_batch
+from repro.nimble.compiler import compile_query_batch
 
 __all__ = ["ExploreResult", "default_jobs", "evaluate"]
 
@@ -108,7 +117,7 @@ class ExploreResult:
     """The outcome of one engine run, aligned with its query list."""
 
     queries: list[DesignQuery]
-    results: list["DesignPoint | SkipRecord"]
+    results: list["DesignPoint | SkipRecord | FailRecord"]
     cache_stats: CacheStats = field(default_factory=CacheStats)
     jobs: int = 1
     #: cumulative per-stage worker wall time (seconds) for this run's
@@ -117,8 +126,15 @@ class ExploreResult:
     #: aggregated worker-side shared-cache counters (analysis + II memo,
     #: memory and disk tiers) for this run's freshly-compiled queries
     cache_counters: dict[str, int] = field(default_factory=dict)
+    #: supervisor counters (dispatches, retries, respawns, timeouts,
+    #: bisections, quarantined, ...) — empty for fully-warm runs
+    supervision: dict = field(default_factory=dict)
+    #: lazily-built query -> result index (see :meth:`point_for`)
+    _index: "Optional[dict[DesignQuery, object]]" = \
+        field(default=None, repr=False, compare=False)
 
-    def pairs(self) -> list[tuple[DesignQuery, "DesignPoint | SkipRecord"]]:
+    def pairs(self) -> list[
+            tuple[DesignQuery, "DesignPoint | SkipRecord | FailRecord"]]:
         return list(zip(self.queries, self.results))
 
     def points(self) -> list[DesignPoint]:
@@ -127,11 +143,23 @@ class ExploreResult:
     def skips(self) -> list[SkipRecord]:
         return [r for r in self.results if isinstance(r, SkipRecord)]
 
+    def fails(self) -> list[FailRecord]:
+        return [r for r in self.results if isinstance(r, FailRecord)]
+
     def point_for(self, query: DesignQuery) -> Optional[DesignPoint]:
-        for q, r in self.pairs():
-            if q == query and isinstance(r, DesignPoint):
-                return r
-        return None
+        """The evaluated point for ``query``, or ``None``.
+
+        Indexed: the first call builds a query -> result map, so ranking
+        and report code that probes hundreds of queries pays O(1) per
+        lookup instead of a linear scan of ``pairs()`` each time.
+        """
+        if self._index is None:
+            index: dict[DesignQuery, object] = {}
+            for q, r in zip(self.queries, self.results):
+                index.setdefault(q, r)
+            self._index = index
+        r = self._index.get(query)
+        return r if isinstance(r, DesignPoint) else None
 
     def attach_base_ii(self) -> None:
         """Propagate each (kernel, target) group's original II.
@@ -186,25 +214,53 @@ class ExploreResult:
 def evaluate(queries: "Sequence[DesignQuery] | Iterable[DesignQuery]",
              jobs: Optional[int] = None,
              cache: "ResultCache | NullCache | None" = None,
-             chunksize: Optional[int] = None) -> ExploreResult:
-    """Evaluate every query, through the cache, in parallel.
+             chunksize: Optional[int] = None,
+             retries: Optional[int] = None,
+             batch_timeout: Optional[float] = None) -> ExploreResult:
+    """Evaluate every query, through the cache, under supervision.
 
     ``jobs=None`` picks :func:`default_jobs` scaled by the cache-miss
     count (a fully-warm run forks nothing); ``jobs=1`` runs inline
-    (no pool, deterministic single-process debugging).
-    ``cache=None`` disables caching entirely.  ``chunksize`` counts
-    *batches* per pool task and is likewise derived from the cache-miss
-    set, not the raw query count.
+    (no pool, deterministic single-process debugging).  ``cache=None``
+    disables caching entirely.  Identical queries are deduplicated —
+    duplicates cost one compile (and one cache lookup), not N.
+
+    Fault policy: ``retries`` (default ``REPRO_RETRIES``, 2) bounds how
+    often a failing batch is re-dispatched before bisection/quarantine;
+    ``batch_timeout`` (seconds; default ``REPRO_BATCH_TIMEOUT``, off)
+    arms the straggler watchdog.  Both are validated.  ``chunksize`` is
+    accepted for backwards compatibility and ignored: supervised
+    dispatch submits each batch as its own future so failures are
+    attributable and results commit incrementally.
+
+    Completed batches are committed to the cache as they land, so a
+    sweep that dies — crash, OOM, Ctrl-C (re-raised as
+    :class:`~repro.explore.supervise.SweepInterrupted` after a hard
+    pool shutdown) — resumes from the cache on the next run.
     """
+    del chunksize  # historical pool.map tuning; dispatch is per-batch now
+    from repro.faults import active_plan
+    active_plan()   # validate REPRO_FAULTS in the parent, not a worker
+    retries = env_knobs.retries(retries)
+    batch_timeout = env_knobs.batch_timeout(batch_timeout)
+
     queries = list(queries)
     cache = cache if cache is not None else NullCache()
     # snapshot the cache counters so the result reports THIS run's
     # hit/miss/store deltas even when the caller reuses one cache
     before = (cache.stats.hits, cache.stats.misses, cache.stats.stores)
 
-    results: list["DesignPoint | SkipRecord | None"] = [None] * len(queries)
+    # None marks not-yet-evaluated; every slot is filled (point, skip,
+    # or fail) before the result is built, so the annotation stays loose
+    results: list = [None] * len(queries)
     pending: list[int] = []
+    first_at: dict[DesignQuery, int] = {}
+    alias: dict[int, int] = {}   # duplicate position -> canonical position
     for i, q in enumerate(queries):
+        if q in first_at:
+            alias[i] = first_at[q]
+            continue
+        first_at[q] = i
         hit = cache.get(q)
         if hit is not None:
             results[i] = hit
@@ -213,29 +269,16 @@ def evaluate(queries: "Sequence[DesignQuery] | Iterable[DesignQuery]",
 
     stage_seconds: dict[str, float] = {}
     cache_counters: dict[str, int] = {}
+    supervision: dict = {}
     if pending:
         todo = [queries[i] for i in pending]
         jobs = default_jobs(len(todo)) if jobs is None else max(1, jobs)
         batches = _batched(todo, jobs)
         workers = min(jobs, len(batches))
-        if workers <= 1:
-            payloads = [compile_query_batch([todo[p] for p in posns])
-                        for posns in batches]
-        else:
-            if chunksize is None:
-                # contiguous chunks: batches enumerate kernel-adjacent
-                # ((k, original), (k, pipelined), (k, squash), …), so a
-                # chunk covering one kernel's variant group keeps its
-                # base analysis, jam transforms, and II memos in one
-                # worker instead of re-deriving them in four
-                chunksize = max(1, -(-len(batches) // workers))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                payloads = list(pool.map(
-                    compile_query_batch,
-                    [[todo[p] for p in posns] for posns in batches],
-                    chunksize=chunksize))
-        for posns, payload in zip(batches, payloads):
-            for p, r in zip(posns, payload["results"]):
+
+        def on_payload(positions: Sequence[int], payload: dict) -> None:
+            # commit this batch NOW: a later crash must not discard it
+            for p, r in zip(positions, payload["results"]):
                 results[pending[p]] = r
                 cache.put(todo[p], r)
             for stage, seconds in payload["stages"].items():
@@ -243,8 +286,29 @@ def evaluate(queries: "Sequence[DesignQuery] | Iterable[DesignQuery]",
                     + seconds
             for key, val in payload["counters"].items():
                 cache_counters[key] = cache_counters.get(key, 0) + val
+
+        def on_failure(failure: BatchFailure) -> None:
+            results[pending[failure.position]] = FailRecord(
+                query=todo[failure.position], kind=failure.kind,
+                reason=failure.reason, attempts=failure.attempts,
+                elapsed=failure.elapsed)
+
+        stats: SuperviseStats
+        if workers <= 1:
+            stats = run_inline(batches, todo, compile_query_batch,
+                               on_payload, on_failure, retries=retries)
+        else:
+            stats = run_supervised(batches, todo, compile_query_batch,
+                                   on_payload, on_failure,
+                                   workers=workers, retries=retries,
+                                   batch_timeout=batch_timeout)
+        if stats.eventful:
+            supervision = stats.as_dict()
     else:
         jobs = default_jobs() if jobs is None else max(1, jobs)
+
+    for dup, canon in alias.items():
+        results[dup] = results[canon]
 
     run_stats = CacheStats(hits=cache.stats.hits - before[0],
                            misses=cache.stats.misses - before[1],
@@ -252,4 +316,5 @@ def evaluate(queries: "Sequence[DesignQuery] | Iterable[DesignQuery]",
     return ExploreResult(queries=queries, results=results,
                          cache_stats=run_stats, jobs=jobs,
                          stage_seconds=stage_seconds,
-                         cache_counters=cache_counters)
+                         cache_counters=cache_counters,
+                         supervision=supervision)

@@ -12,8 +12,8 @@ from repro.explore.pareto import best_designs, pareto_queries
 from repro.harness.tables import render_table
 from repro.hw.report import DesignPoint, normalize
 
-__all__ = ["format_best", "format_cache_stats", "format_pareto",
-           "format_skips", "format_summary"]
+__all__ = ["format_best", "format_cache_stats", "format_fails",
+           "format_pareto", "format_skips", "format_summary"]
 
 
 def _group_title(key: tuple[str, str]) -> str:
@@ -24,10 +24,14 @@ def _group_title(key: tuple[str, str]) -> str:
 def format_summary(result: ExploreResult) -> str:
     """One-line run summary plus the cache counters."""
     n_pts, n_skip = len(result.points()), len(result.skips())
+    n_fail = len(result.fails())
     kernels = {q.kernel for q in result.queries}
+    counts = f"{n_pts} evaluated, {n_skip} skipped"
+    if n_fail:
+        counts += f", {n_fail} failed (quarantined)"
     return (f"explored {len(result.queries)} designs over "
             f"{len(kernels)} kernel(s) with {result.jobs} job(s): "
-            f"{n_pts} evaluated, {n_skip} skipped\n"
+            f"{counts}\n"
             f"{format_cache_stats(result)}")
 
 
@@ -118,3 +122,22 @@ def format_skips(result: ExploreResult) -> str:
             for s in skips]
     return render_table(["kernel", "design", "phase", "reason"], rows,
                         title=f"Skipped designs ({len(skips)}).")
+
+
+def format_fails(result: ExploreResult) -> str:
+    """The quarantine table: every query the engine gave up evaluating.
+
+    Unlike skips (the compiler's verdict on the design), fails carry the
+    supervisor's provenance — failure kind, total dispatch attempts, and
+    wall-clock burned — and are never cached, so a re-run retries them.
+    """
+    fails = result.fails()
+    if not fails:
+        return ""
+    rows = [[f.query.kernel, f.label, f.kind, f.attempts,
+             f"{f.elapsed:.2f}s", f.reason[:60]]
+            for f in fails]
+    return render_table(
+        ["kernel", "design", "kind", "attempts", "elapsed", "reason"],
+        rows, title=f"Quarantined designs ({len(fails)}) — "
+                    "not cached; a re-run retries them.")

@@ -18,8 +18,8 @@ import json
 from dataclasses import dataclass, field, fields
 from typing import Iterator, Sequence
 
-__all__ = ["VARIANTS", "DesignQuery", "DesignSpace", "SkipRecord",
-           "table_sweep_space"]
+__all__ = ["VARIANTS", "DesignQuery", "DesignSpace", "FailRecord",
+           "SkipRecord", "table_sweep_space"]
 
 #: Variant kinds the compiler knows how to build (thesis Ch. 2/4).
 VARIANTS = ("original", "pipelined", "squash", "jam", "jam+squash")
@@ -102,6 +102,40 @@ class SkipRecord:
     query: DesignQuery
     phase: str
     reason: str
+
+    @property
+    def label(self) -> str:
+        return self.query.label
+
+
+@dataclass(frozen=True)
+class FailRecord:
+    """A query the *engine* had to quarantine, with full provenance.
+
+    The structured sibling of :class:`SkipRecord` for failures that are
+    not the compiler's verdict on the design: the worker process died
+    (``kind="crash"``), overran the per-batch wall-clock budget
+    (``kind="timeout"``), or raised an exception the compiler does not
+    classify (``kind="exception"``).  The supervised engine retries and
+    bisects failing batches down to the culprit query before writing one
+    of these, so a ``FailRecord`` always names a single design — never a
+    batch of innocent neighbors — and a sweep always accounts for every
+    query (points + skips + fails), with no silent gaps.
+
+    Unlike skips, fails are **never cached**: the failure may be
+    environmental (OOM kill, transient signal), so a re-run retries the
+    quarantined queries from scratch.
+    """
+
+    query: DesignQuery
+    #: ``"crash"`` | ``"timeout"`` | ``"exception"``
+    kind: str
+    #: the exception repr, signal description, or timeout summary
+    reason: str
+    #: total dispatch attempts spent before quarantine (1 = no retry)
+    attempts: int = 1
+    #: wall-clock seconds burned across all attempts of the owning batch
+    elapsed: float = 0.0
 
     @property
     def label(self) -> str:

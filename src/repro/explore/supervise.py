@@ -1,0 +1,376 @@
+"""Supervised batch dispatch: the fault-tolerant core of the engine.
+
+:func:`run_supervised` replaces the engine's historical
+``ProcessPoolExecutor.map`` with per-batch futures consumed as they
+complete, so results commit incrementally and one bad batch cannot
+discard its neighbors' work.  The supervisor owns the failure policy:
+
+* **worker death** (``BrokenProcessPool`` — crash, OOM kill, signal):
+  the pool is torn down and respawned with capped exponential backoff,
+  and every batch that was in flight is re-dispatched.  Batches that
+  complete on retry were innocent bystanders; the culprit keeps
+  failing and burns its retry budget.
+* **stragglers**: with a wall-clock ``batch_timeout``, a batch that
+  overruns its deadline is presumed hung — the pool (including the
+  sleeping worker process) is killed, respawned, and the survivors
+  re-dispatched.  Dispatch is windowed to ``workers`` outstanding
+  futures so "time since dispatch" approximates "time running".
+* **exceptions**: a batch whose worker raised an unclassified exception
+  is retried like a crash (the failure may be environmental).
+* **bisection & quarantine**: a batch that exhausts its retry budget is
+  split in half (each half with a fresh budget); a *single* query that
+  exhausts it is quarantined as a :class:`~repro.explore.space.FailRecord`
+  with full provenance (kind, attempts, elapsed, reason) instead of
+  poisoning further retries of innocent neighbors.
+* **KeyboardInterrupt**: the pool is shut down hard (worker processes
+  killed, not orphaned) and :class:`SweepInterrupted` — still a
+  ``KeyboardInterrupt`` — is raised; everything that completed was
+  already committed via ``on_payload``, so the same command resumes
+  from the result cache.
+
+:func:`run_inline` is the poolless (``jobs=1``) twin with the same
+retry/bisect/quarantine policy; injected main-process faults
+(:mod:`repro.faults`) surface there as ordinary exceptions.
+
+The supervisor is deliberately generic — it moves opaque *items*
+through a picklable ``worker_fn(items, attempt)`` and hands payloads
+back through callbacks — so chaos tests can drive it with synthetic
+workers and the engine stays a thin client.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+__all__ = ["BatchFailure", "SuperviseStats", "SweepInterrupted",
+           "run_inline", "run_supervised"]
+
+#: Respawn backoff: ``min(CAP, BASE * 2**events)`` seconds between pool
+#: teardowns, so a crash-looping sweep degrades instead of fork-bombing.
+_BACKOFF_BASE = 0.02
+_BACKOFF_CAP = 1.0
+
+#: How long to wait for a killed worker process to reap before SIGKILL.
+_REAP_SECONDS = 0.5
+
+
+class SweepInterrupted(KeyboardInterrupt):
+    """Ctrl-C mid-sweep, after the pool was shut down hard.
+
+    Still a ``KeyboardInterrupt`` for callers that catch that, but
+    carries enough context for the CLI to print a resume hint: every
+    completed batch was committed to the result cache before the
+    interrupt, so re-running the same command resumes from there.
+    """
+
+    def __init__(self, committed: int, total: int):
+        self.committed = committed
+        self.total = total
+        super().__init__(
+            f"sweep interrupted: {committed} of {total} batches already "
+            "committed to the result cache; rerun the same command to "
+            "resume from there")
+
+
+@dataclass
+class BatchFailure:
+    """One quarantined item, delivered through ``on_failure``."""
+
+    position: int
+    kind: str      # "crash" | "timeout" | "exception"
+    reason: str
+    attempts: int
+    elapsed: float
+
+
+@dataclass
+class SuperviseStats:
+    """Counters describing how eventful one supervised run was."""
+
+    dispatches: int = 0     # batch submissions, including re-dispatches
+    retries: int = 0        # re-queued batches (any failure kind)
+    respawns: int = 0       # pool teardown + rebuild events
+    crashes: int = 0        # BrokenProcessPool events
+    timeouts: int = 0       # straggler deadline expiries
+    exceptions: int = 0     # worker-raised unclassified exceptions
+    bisections: int = 0     # failing batches split toward the culprit
+    quarantined: int = 0    # single queries given up on (FailRecords)
+    backoff_s: float = 0.0  # total seconds slept between respawns
+
+    def as_dict(self) -> dict:
+        return {"dispatches": self.dispatches, "retries": self.retries,
+                "respawns": self.respawns, "crashes": self.crashes,
+                "timeouts": self.timeouts, "exceptions": self.exceptions,
+                "bisections": self.bisections,
+                "quarantined": self.quarantined,
+                "backoff_s": round(self.backoff_s, 4)}
+
+    @property
+    def eventful(self) -> bool:
+        return bool(self.retries or self.quarantined or self.respawns)
+
+
+@dataclass
+class _Task:
+    """One dispatchable unit: positions into the caller's item list."""
+
+    positions: tuple[int, ...]
+    attempts: int = 0
+    elapsed: float = 0.0
+    last_kind: str = ""
+    last_reason: str = ""
+    started: float = field(default=0.0, compare=False)
+    deadline: float = field(default=0.0, compare=False)
+
+
+class _Run:
+    """Shared retry/bisect/quarantine policy for both dispatch modes."""
+
+    def __init__(self, batches: Sequence[Sequence[int]],
+                 on_payload: Callable[[Sequence[int], object], None],
+                 on_failure: Callable[[BatchFailure], None],
+                 retries: int):
+        self.queue: "deque[_Task]" = deque(
+            _Task(tuple(posns)) for posns in batches)
+        self.on_payload = on_payload
+        self.on_failure = on_failure
+        self.retries = retries
+        self.stats = SuperviseStats()
+        self.total = len(self.queue)
+        self.committed = 0
+        #: consecutive pool-teardown events since the last completed
+        #: batch — the backoff exponent, so progress resets the delay
+        self.backoff_streak = 0
+
+    def complete(self, task: _Task, payload: object) -> None:
+        self.on_payload(task.positions, payload)
+        self.committed += 1
+        self.backoff_streak = 0
+
+    def fail(self, task: _Task, kind: str, reason: str,
+             elapsed: float) -> None:
+        """Charge one failed dispatch; requeue, bisect, or quarantine."""
+        task.attempts += 1
+        task.elapsed += elapsed
+        task.last_kind, task.last_reason = kind, reason
+        if task.attempts <= self.retries:
+            self.stats.retries += 1
+            self.queue.append(task)
+            return
+        if len(task.positions) > 1:
+            # The batch keeps failing: split it so the culprit query is
+            # cornered while its neighbors get a fresh budget.  Total
+            # work stays O(retries * n log n) per poisoned batch.
+            self.stats.bisections += 1
+            mid = len(task.positions) // 2
+            self.queue.appendleft(_Task(task.positions[mid:]))
+            self.queue.appendleft(_Task(task.positions[:mid]))
+            self.total += 1
+            return
+        self.stats.quarantined += 1
+        self.on_failure(BatchFailure(
+            position=task.positions[0], kind=kind, reason=reason,
+            attempts=task.attempts, elapsed=round(task.elapsed, 4)))
+
+
+def _kill_pool(pool: Optional[ProcessPoolExecutor]) -> None:
+    """Tear a pool down *hard*: no orphans, even with hung workers.
+
+    ``shutdown`` alone would block on (or abandon) a worker sleeping in
+    an injected hang or a real livelock, so the worker processes are
+    terminated explicitly and reaped, escalating to SIGKILL.
+    """
+    if pool is None:
+        return
+    procs_map = getattr(pool, "_processes", None)
+    procs = list(procs_map.values()) if procs_map else []
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - shutdown of a broken pool
+        pass
+    for p in procs:
+        try:
+            p.terminate()
+        except Exception:  # pragma: no cover - already dead
+            pass
+    deadline = time.monotonic() + _REAP_SECONDS
+    for p in procs:
+        p.join(max(0.0, deadline - time.monotonic()))
+        if p.is_alive():  # pragma: no cover - stubborn worker
+            p.kill()
+            p.join(_REAP_SECONDS)
+
+
+def run_inline(batches: Sequence[Sequence[int]],
+               items: Sequence,
+               worker_fn: Callable,
+               on_payload: Callable[[Sequence[int], object], None],
+               on_failure: Callable[[BatchFailure], None],
+               retries: int = 0) -> SuperviseStats:
+    """Poolless supervised dispatch (``jobs=1``): same policy, no forks.
+
+    Injected main-process faults and real worker exceptions both arrive
+    as exceptions here; ``KeyboardInterrupt`` commits nothing further
+    and re-raises as :class:`SweepInterrupted`.
+    """
+    run = _Run(batches, on_payload, on_failure, retries)
+    try:
+        while run.queue:
+            task = run.queue.popleft()
+            run.stats.dispatches += 1
+            t0 = time.perf_counter()
+            try:
+                payload = worker_fn([items[p] for p in task.positions],
+                                    task.attempts)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                run.stats.exceptions += 1
+                run.fail(task, "exception", repr(exc),
+                         time.perf_counter() - t0)
+                continue
+            run.complete(task, payload)
+    except KeyboardInterrupt:
+        raise SweepInterrupted(run.committed, run.total) from None
+    return run.stats
+
+
+def run_supervised(batches: Sequence[Sequence[int]],
+                   items: Sequence,
+                   worker_fn: Callable,
+                   on_payload: Callable[[Sequence[int], object], None],
+                   on_failure: Callable[[BatchFailure], None],
+                   workers: int,
+                   retries: int = 0,
+                   batch_timeout: Optional[float] = None,
+                   mp_context=None) -> SuperviseStats:
+    """Pool-backed supervised dispatch — the engine's parallel core.
+
+    Submits at most ``workers`` batches at a time (so deadlines measure
+    running time, not queue time), consumes futures as they complete,
+    and applies the module-level failure policy.  ``worker_fn`` must be
+    a picklable module-level callable taking ``(items, attempt)``.
+    """
+    run = _Run(batches, on_payload, on_failure, retries)
+    pool: Optional[ProcessPoolExecutor] = None
+    inflight: dict[Future, _Task] = {}
+
+    def spawn() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=workers,
+                                   mp_context=mp_context)
+
+    def respawn() -> None:
+        nonlocal pool
+        _kill_pool(pool)
+        delay = min(_BACKOFF_CAP, _BACKOFF_BASE * 2 ** run.backoff_streak)
+        run.backoff_streak += 1
+        run.stats.respawns += 1
+        run.stats.backoff_s += delay
+        time.sleep(delay)
+        pool = spawn()
+
+    def abandon_inflight(kind: str, reason: str,
+                         overdue: "Optional[Future]" = None) -> None:
+        """Every in-flight batch just lost its worker; charge and requeue.
+
+        Only the ``overdue`` future (timeout case) keeps the specific
+        kind/reason; collateral batches are charged a dispatch too (their
+        work is lost and, under fault injection, their next attempt must
+        draw a fresh coin) but labeled as collateral of this event.
+        """
+        now = time.perf_counter()
+        for fut, task in sorted(inflight.items(),
+                                key=lambda ft: ft[1].attempts):
+            if overdue is None or fut is overdue:
+                run.fail(task, kind, reason, now - task.started)
+            else:
+                run.fail(task, kind, f"collateral: {reason}",
+                         now - task.started)
+        inflight.clear()
+
+    pool = spawn()
+    try:
+        while run.queue or inflight:
+            # --- windowed submission: at most `workers` outstanding ----
+            while run.queue and len(inflight) < workers:
+                task = run.queue.popleft()
+                run.stats.dispatches += 1
+                task.started = time.perf_counter()
+                if batch_timeout is not None:
+                    task.deadline = task.started + batch_timeout
+                try:
+                    fut = pool.submit(
+                        worker_fn, [items[p] for p in task.positions],
+                        task.attempts)
+                except (BrokenProcessPool, RuntimeError):
+                    # the pool broke between completions; put the task
+                    # back and let the crash path below respawn
+                    run.stats.dispatches -= 1
+                    run.queue.appendleft(task)
+                    run.stats.crashes += 1
+                    abandon_inflight("crash", "worker pool broke")
+                    respawn()
+                    continue
+                inflight[fut] = task
+
+            if not inflight:
+                continue
+
+            slack = None
+            if batch_timeout is not None:
+                now = time.perf_counter()
+                slack = max(0.0, min(t.deadline for t in inflight.values())
+                            - now) + 0.01
+            done, _ = futures_wait(set(inflight), timeout=slack,
+                                   return_when=FIRST_COMPLETED)
+
+            crashed = False
+            for fut in done:
+                task = inflight.pop(fut)
+                try:
+                    payload = fut.result()
+                except BrokenProcessPool as exc:
+                    run.stats.crashes += 1
+                    run.fail(task, "crash",
+                             f"worker process died ({exc})",
+                             time.perf_counter() - task.started)
+                    crashed = True
+                except KeyboardInterrupt:  # pragma: no cover - re-raised
+                    raise
+                except Exception as exc:
+                    run.stats.exceptions += 1
+                    run.fail(task, "exception", repr(exc),
+                             time.perf_counter() - task.started)
+                else:
+                    run.complete(task, payload)
+            if crashed:
+                # every other in-flight future is doomed with the pool
+                abandon_inflight("crash", "worker process died")
+                respawn()
+                continue
+
+            if batch_timeout is not None:
+                now = time.perf_counter()
+                overdue = next((f for f, t in inflight.items()
+                                if now > t.deadline), None)
+                if overdue is not None:
+                    run.stats.timeouts += 1
+                    abandon_inflight(
+                        "timeout",
+                        f"batch exceeded the {batch_timeout:g}s "
+                        "wall-clock budget", overdue=overdue)
+                    respawn()
+    except KeyboardInterrupt:
+        _kill_pool(pool)
+        pool = None
+        raise SweepInterrupted(run.committed, run.total) from None
+    finally:
+        if pool is not None:
+            _kill_pool(pool)
+    return run.stats

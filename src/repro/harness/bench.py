@@ -44,7 +44,11 @@ __all__ = ["format_bench", "run_sweep_bench"]
 #: 4 = added the ``verify_overhead`` phase: the warm-recompile sweep
 #: re-run with ``REPRO_VERIFY=1``, recording the verifier wall-time
 #: delta (``overhead_s``) and asserting verified results are identical.
-SCHEMA = 4
+#: 5 = added the ``resilience`` phase: the factors=(2,) subspace swept
+#: fault-free under the supervised engine, then under injected worker
+#: crashes and torn cache/store writes, asserting byte-identical
+#: results and recording the supervision counters and overhead.
+SCHEMA = 5
 
 
 def _golden_dir() -> pathlib.Path:
@@ -142,6 +146,85 @@ def _sched_hotpath_phase(kernels: Sequence[str], factors: Sequence[int],
     return phase
 
 
+def _resilience_phase(kernels: Sequence[str], target_spec: str,
+                      scheduler: str, jobs: int) -> dict:
+    """Chaos A/B: the supervised engine under injected faults.
+
+    Sweeps the factors=(2,) subspace three times — fault-free, under
+    worker crashes (``crash@worker``), and with every cache/store
+    publish torn — asserting **byte-identical results** each time and
+    recording the supervision counters, so every BENCH record proves
+    the fault-tolerance machinery still converges and shows what the
+    recovery cost.  ``jobs`` is forced to at least 2: supervision means
+    a real pool with real worker deaths.
+    """
+    import os
+    import tempfile
+
+    from repro.caches import clear_caches
+    from repro.env import RETRIES_ENV
+    from repro.explore import (
+        NullCache, ResultCache, evaluate, table_sweep_space,
+    )
+    from repro.faults import FAULTS_ENV, FAULTS_SEED_ENV
+
+    queries = table_sweep_space(kernels, (2,), target_spec,
+                                scheduler).enumerate()
+    jobs = max(2, jobs)
+    phase: dict = {"designs": len(queries), "jobs": jobs}
+    saved = {k: os.environ.get(k)
+             for k in (FAULTS_ENV, FAULTS_SEED_ENV, RETRIES_ENV)}
+    try:
+        os.environ.pop(FAULTS_ENV, None)
+        clear_caches(memory_only=True)
+        t0 = time.perf_counter()
+        clean = evaluate(queries, jobs=jobs, cache=NullCache())
+        phase["fault_free_s"] = round(time.perf_counter() - t0, 4)
+
+        os.environ[FAULTS_SEED_ENV] = "7"
+        # generous budget: with p=0.25 per query-attempt a quarantine
+        # needs ~40 consecutive unlucky coins — if one ever shows up,
+        # that is a supervision bug, and the equality check fails loud
+        os.environ[RETRIES_ENV] = "40"
+        profiles = {
+            "crash_chaos": "crash@worker:0.25",
+            "torn_chaos": "torn@cache:1.0,torn@store:1.0",
+        }
+        with tempfile.TemporaryDirectory() as tdir:
+            for label, spec in profiles.items():
+                os.environ[FAULTS_ENV] = spec
+                clear_caches(memory_only=True)
+                cache = ResultCache(directory=tdir) \
+                    if "torn" in spec else NullCache()
+                t0 = time.perf_counter()
+                chaos = evaluate(queries, jobs=jobs, cache=cache)
+                wall = round(time.perf_counter() - t0, 4)
+                if chaos.fails():  # pragma: no cover - supervision bug
+                    first = chaos.fails()[0]
+                    raise RuntimeError(
+                        f"resilience phase quarantined "
+                        f"{first.query.label!r} under {spec} "
+                        f"({first.kind}: {first.reason})")
+                if chaos.results != clean.results:  # pragma: no cover
+                    raise RuntimeError(
+                        f"resilience phase diverged under {spec} — "
+                        "fault recovery changed sweep results")
+                phase[label] = {
+                    "faults": spec, "wall_s": wall,
+                    "overhead_s": round(wall - phase["fault_free_s"], 4),
+                    "supervision": chaos.supervision,
+                    "torn_writes": cache.stats.torn
+                    if isinstance(cache, ResultCache) else 0,
+                }
+    finally:
+        for k, v in saved.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+    return phase
+
+
 def run_sweep_bench(factors: Sequence[int] = (2, 4, 8, 16),
                     target_spec: str = "acev",
                     jobs: Optional[int] = None,
@@ -228,6 +311,11 @@ def run_sweep_bench(factors: Sequence[int] = (2, 4, 8, 16),
     phases["sched_hotpath"] = _sched_hotpath_phase(kernels, factors,
                                                    hot_specs, scheduler)
 
+    # chaos A/B: prove the supervised engine converges to identical
+    # results under injected crashes and torn writes, and price it
+    phases["resilience"] = _resilience_phase(kernels, target_spec,
+                                             scheduler, jobs)
+
     from repro.env import dfg_jam_enabled
     from repro.hw import sched_kernel
     record = {
@@ -308,6 +396,23 @@ def format_bench(record: dict) -> str:
              f"(cores={record['cores']}, "
              f"sched_kernel={record.get('sched_kernel', '?')})"]
     for name, phase in record["phases"].items():
+        if "fault_free_s" in phase:       # the resilience chaos A/B phase
+            lines.append(f"  {name:<15} fault-free "
+                         f"{phase['fault_free_s']:.3f}s over "
+                         f"{phase['designs']} designs")
+            for label in ("crash_chaos", "torn_chaos"):
+                sub = phase.get(label)
+                if not sub:
+                    continue
+                sup = sub.get("supervision", {})
+                lines.append(
+                    f"    {label:<13} {sub['wall_s']:7.3f}s "
+                    f"({sub['overhead_s']:+.3f}s)  "
+                    f"retries={sup.get('retries', 0)} "
+                    f"respawns={sup.get('respawns', 0)} "
+                    f"torn={sub.get('torn_writes', 0)} — identical "
+                    "results")
+            continue
         if "result_cache" not in phase:   # the sched_hotpath A/B phase
             lines.append(f"  {name:<15} numpy {phase.get('numpy_s', 0):.3f}s"
                          f" vs python {phase.get('python_s', 0):.3f}s over "

@@ -134,6 +134,15 @@ def _sweep(factors: tuple[int, ...], target_spec: str,
                 f"table sweep design {skip.query.label!r} on "
                 f"{skip.query.kernel!r} failed in {skip.phase}: "
                 f"{skip.reason}")
+    # Quarantined queries are never a finding in a table sweep: the
+    # thesis tables need every cell, so an engine-level failure (crash,
+    # timeout, unclassified exception) is a hard error here, with the
+    # supervisor's provenance in the message.
+    for fail in result.fails():
+        raise RuntimeError(
+            f"table sweep design {fail.query.label!r} on "
+            f"{fail.query.kernel!r} was quarantined after "
+            f"{fail.attempts} attempt(s) ({fail.kind}): {fail.reason}")
     result.attach_base_ii()
 
     target = decode_target(target_spec)

@@ -175,7 +175,8 @@ def _cache_counters() -> dict[str, int]:
     return out
 
 
-def compile_query_batch(queries: "Sequence[DesignQuery]") -> dict:
+def compile_query_batch(queries: "Sequence[DesignQuery]",
+                        attempt: int = 0) -> dict:
     """Compile a batch of queries in one worker — the engine's dispatch
     unit.
 
@@ -187,12 +188,20 @@ def compile_query_batch(queries: "Sequence[DesignQuery]") -> dict:
     engine aggregates into
     :class:`repro.explore.engine.ExploreResult.stage_seconds` /
     ``cache_counters`` (so ``repro bench`` sees worker-side hit rates).
+
+    ``attempt`` is the supervisor's dispatch count for this batch; it
+    feeds the chaos-test fault site so a query that drew an injected
+    crash/hang draws a *fresh* deterministic coin on each retry.
     """
+    from repro.faults import fault_site
     from repro.pipeline.pipeline import _STAGE_TIMES
 
     before_stages = dict(_STAGE_TIMES)
     before_counters = _cache_counters()
-    results = [compile_query(q) for q in queries]
+    results = []
+    for q in queries:
+        fault_site("worker", f"{q.query_hash}:{attempt}")
+        results.append(compile_query(q))
     stages = {stage: seconds - before_stages.get(stage, 0.0)
               for stage, seconds in _STAGE_TIMES.items()
               if seconds - before_stages.get(stage, 0.0) > 0.0}

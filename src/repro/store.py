@@ -47,10 +47,15 @@ class StoreStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: publishes deliberately torn by fault injection (chaos tests only)
+    torn: int = 0
 
     def as_dict(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses,
-                "stores": self.stores}
+        out = {"hits": self.hits, "misses": self.misses,
+               "stores": self.stores}
+        if self.torn:
+            out["torn"] = self.torn
+        return out
 
 
 class ArtifactStore:
@@ -105,6 +110,17 @@ class ArtifactStore:
             blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         except (OSError, pickle.PicklingError, TypeError, AttributeError,
                 RecursionError):
+            return
+        from repro.faults import torn_write
+        if torn_write("store", key):
+            # Chaos injection: simulate a writer that died mid-publish on
+            # a filesystem without the atomic-rename guarantee — half the
+            # pickle lands on the *final* path.  Readers must miss.
+            try:
+                path.write_bytes(blob[:max(1, len(blob) // 2)])
+            except OSError:
+                return
+            self.stats.torn += 1
             return
         lock_path = root / ".lock"
         try:

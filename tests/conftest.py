@@ -3,11 +3,46 @@
 from __future__ import annotations
 
 import os
+import signal
+import threading
 
 import numpy as np
 import pytest
 
 from repro.ir import F64, I32, U8, U16, U32, ProgramBuilder
+
+#: Per-test wall-clock budget (seconds).  The supervised engine and the
+#: chaos suite deliberately spawn pools, kill workers, and inject hangs;
+#: a bug there must fail one test, not wedge the whole CI job.  Override
+#: with ``REPRO_TEST_TIMEOUT`` (0 disables).
+_TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
+
+
+@pytest.fixture(autouse=True)
+def _per_test_timeout():
+    """SIGALRM watchdog around every test (pytest-timeout isn't vendored).
+
+    Uses ``setitimer`` so fractional budgets work; the timer is cleared
+    on the way out, and fork children do *not* inherit itimers, so the
+    engine's worker processes are unaffected.  No-op off the main
+    thread or when the budget is disabled.
+    """
+    if _TEST_TIMEOUT <= 0 or \
+            threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _expired(signum, frame):
+        pytest.fail(f"test exceeded the {_TEST_TIMEOUT:g}s wall-clock "
+                    "budget (REPRO_TEST_TIMEOUT)", pytrace=False)
+
+    old_handler = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, _TEST_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old_handler)
 
 
 @pytest.fixture(autouse=True, scope="session")

@@ -89,14 +89,22 @@ class TestConcurrentArtifactStore:
             assert p.exitcode == 0
         assert ArtifactStore("analysis", tmp_path).get("hot-key") == payload
 
-    def test_corrupt_artifact_is_a_miss(self, tmp_path):
+    def test_torn_publish_is_a_miss(self, tmp_path, monkeypatch):
+        # injected, not hand-crafted: the store's own publish path tears
+        # the pickle mid-write (as a writer dying without the atomic
+        # rename would), and the reader must treat it as a miss
+        monkeypatch.setenv("REPRO_FAULTS", "torn@store:1.0")
         store = ArtifactStore("analysis", tmp_path)
         store.put("k", {"v": 1})
-        path = next(store.root().glob("k.pkl"))
-        path.write_bytes(b"\x80\x04 torn write garbage")
+        assert store.stats.torn == 1 and store.stats.stores == 0
+        assert (store.root() / "k.pkl").exists()  # half a pickle landed
         fresh = ArtifactStore("analysis", tmp_path)
         assert fresh.get("k") is None
         assert fresh.stats.misses == 1
+        # recovery: without the fault the same publish heals the entry
+        monkeypatch.delenv("REPRO_FAULTS")
+        store.put("k", {"v": 1})
+        assert ArtifactStore("analysis", tmp_path).get("k") == {"v": 1}
 
     def test_unpicklable_value_is_dropped_silently(self, tmp_path):
         store = ArtifactStore("analysis", tmp_path)
@@ -121,6 +129,79 @@ class TestStoreRoundTrip:
         loaded = ArtifactStore("iisearch", tmp_path).get("sig")
         assert loaded == record
         assert pickle.dumps(loaded) == pickle.dumps(record)
+
+
+class TestFaultInjectedTearing:
+    """Torn-write chaos through the production code paths themselves."""
+
+    def test_torn_cache_append_recovers_on_reload(self, tmp_path,
+                                                  monkeypatch):
+        queries = SPACE.enumerate()
+        monkeypatch.setenv("REPRO_FAULTS", "torn@cache:1.0")
+        torn_cache = ResultCache(tmp_path)
+        torn_run = evaluate(queries, jobs=1, cache=torn_cache)
+        assert torn_cache.stats.torn == len(queries)
+        assert torn_cache.stats.stores == 0
+        # every line on disk is torn: a fresh load must drop them all
+        # and recompute — same results, zero hits, no crash
+        monkeypatch.delenv("REPRO_FAULTS")
+        fresh = ResultCache(tmp_path)
+        rerun = evaluate(queries, jobs=1, cache=fresh)
+        assert rerun.cache_stats.hits == 0
+        assert rerun.results == torn_run.results
+        assert all(isinstance(r, DesignPoint) for r in rerun.results)
+
+    def test_deterministic_tearing_is_stable_across_runs(self, tmp_path,
+                                                         monkeypatch):
+        # store/cache torn coins key on content alone (no attempt), so
+        # the same artifact tears on every run — the read-side recovery
+        # path is exercised every time, not once in a blue moon
+        monkeypatch.setenv("REPRO_FAULTS", "torn@store:0.5")
+        first, second = [], []
+        for trace in (first, second):
+            store = ArtifactStore("analysis", tmp_path / "s")
+            for i in range(32):
+                store.put(f"key-{i}", {"v": i})
+            trace.append((store.stats.torn, store.stats.stores))
+        assert first == second
+        assert 0 < first[0][0] < 32  # some torn, some published
+
+    def test_two_processes_sweep_one_store_under_torn_faults(
+            self, tmp_path, monkeypatch):
+        """The headline chaos test: concurrent sweeps + torn publishes.
+
+        Both sweep children inherit ``torn@cache`` + ``torn@store``
+        injection, so every result-cache append and artifact publish is
+        torn under concurrency — and both processes must still produce
+        the full, correct, identical result set (recomputing what the
+        torn records refused to serve).
+        """
+        monkeypatch.setenv("REPRO_FAULTS",
+                           "torn@cache:1.0,torn@store:1.0")
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.Queue()
+        procs = [ctx.Process(target=_sweep_worker, args=(tmp_path, queue))
+                 for _ in range(2)]
+        for p in procs:
+            p.start()
+        outcomes = [queue.get(timeout=120) for _ in procs]
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        assert outcomes[0] == outcomes[1]
+
+        # fault-free ground truth from a pristine process-local state
+        monkeypatch.delenv("REPRO_FAULTS")
+        clean = evaluate(SPACE.enumerate(), jobs=1, cache=None)
+        expected = [(type(r).__name__, getattr(r, "ii", None))
+                    for r in clean.results]
+        assert outcomes[0] == expected
+
+        # and the shared cache file, full of torn lines, must still be
+        # loadable: a fresh reader recomputes instead of crashing
+        warm = evaluate(SPACE.enumerate(), jobs=1,
+                        cache=ResultCache(tmp_path))
+        assert warm.results == clean.results
 
 
 @pytest.fixture(autouse=True)

@@ -55,9 +55,46 @@ class TestEvaluate:
             else:
                 assert r.base_ii == orig.ii
 
-    def test_unknown_kernel_propagates(self):
-        with pytest.raises(KeyError):
-            evaluate([DesignQuery("nope", "original")], jobs=1)
+    def test_unknown_kernel_is_quarantined(self):
+        # unclassified exceptions no longer abort the sweep: the
+        # supervised engine retries, then quarantines the culprit with
+        # provenance, and the neighbor still evaluates
+        from repro.explore import FailRecord, format_fails
+        res = evaluate([DesignQuery("nope", "original"),
+                        DesignQuery("iir", "original")],
+                       jobs=1, retries=1)
+        fail = res.results[0]
+        assert isinstance(fail, FailRecord)
+        assert fail.kind == "exception"
+        assert "KeyError" in fail.reason and "nope" in fail.reason
+        assert fail.attempts == 2  # initial dispatch + one retry
+        assert isinstance(res.results[1], DesignPoint)
+        assert res.supervision["quarantined"] == 1
+        assert "Quarantined" in format_fails(res)
+        assert "1 failed (quarantined)" in format_summary(res)
+
+    def test_quarantined_queries_are_never_cached(self, tmp_path):
+        q = DesignQuery("nope", "original")
+        cache = ResultCache(tmp_path)
+        evaluate([q], jobs=1, retries=0, cache=cache)
+        assert cache.stats.stores == 0
+        warm = evaluate([q], jobs=1, retries=0, cache=ResultCache(tmp_path))
+        assert warm.cache_stats.hits == 0  # the re-run retried it
+
+    def test_duplicate_queries_cost_one_compile(self, tmp_path):
+        q = DesignQuery("iir", "original")
+        res = evaluate([q, q, q], jobs=1, cache=ResultCache(tmp_path))
+        assert res.cache_stats.misses == 1
+        assert res.cache_stats.stores == 1
+        assert res.results[0] == res.results[1] == res.results[2]
+        assert isinstance(res.results[0], DesignPoint)
+
+    def test_point_for_uses_the_index(self, iir_result):
+        for q in iir_result.queries:
+            assert iir_result.point_for(q) is not None
+        assert iir_result._index is not None  # built once, then O(1)
+        assert iir_result.point_for(DesignQuery("iir", "squash",
+                                                ds=999)) is None
 
 
 class TestEngineCache:

@@ -1,0 +1,122 @@
+"""The deterministic fault-injection plane: parsing, coin flips, memo."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults import (
+    FAULTS_ENV, FAULTS_SEED_ENV, InjectedCrash, InjectedHang, active_plan,
+    fault_site, parse_faults, torn_write,
+)
+
+
+class TestParse:
+    def test_single_clause(self):
+        plan = parse_faults("crash@worker:0.3")
+        assert plan.prob("crash", "worker") == 0.3
+        assert plan.prob("hang", "worker") == 0.0
+
+    def test_multiple_clauses_and_whitespace(self):
+        plan = parse_faults(" crash@worker:0.2 , torn@store:1.0 ,")
+        assert plan.prob("crash", "worker") == 0.2
+        assert plan.prob("torn", "store") == 1.0
+
+    @pytest.mark.parametrize("spec,match", [
+        ("crash", "malformed"),
+        ("crash@worker", "malformed"),
+        ("crash@nowhere:0.5", "unknown site"),
+        ("torn@worker:0.5", "supports"),
+        ("crash@worker:lots", "not a number"),
+        ("crash@worker:0", r"\(0, 1\]"),
+        ("crash@worker:1.5", r"\(0, 1\]"),
+    ])
+    def test_garbage_raises(self, spec, match):
+        with pytest.raises(ReproError, match=match):
+            parse_faults(spec)
+
+    def test_empty_spec_is_an_empty_plan(self):
+        assert not parse_faults("")
+
+
+class TestDecide:
+    def test_deterministic(self):
+        plan = parse_faults("crash@worker:0.5", seed=3)
+        again = parse_faults("crash@worker:0.5", seed=3)
+        keys = [f"q{i}:0" for i in range(64)]
+        assert [plan.decide("crash", "worker", k) for k in keys] == \
+            [again.decide("crash", "worker", k) for k in keys]
+
+    def test_seed_changes_the_coins(self):
+        a = parse_faults("crash@worker:0.5", seed=1)
+        b = parse_faults("crash@worker:0.5", seed=2)
+        keys = [f"q{i}:0" for i in range(64)]
+        assert [a.decide("crash", "worker", k) for k in keys] != \
+            [b.decide("crash", "worker", k) for k in keys]
+
+    def test_rate_tracks_probability(self):
+        plan = parse_faults("crash@worker:0.25", seed=0)
+        n = 2000
+        fired = sum(plan.decide("crash", "worker", f"k{i}")
+                    for i in range(n))
+        assert 0.18 < fired / n < 0.32
+
+    def test_probability_one_always_fires(self):
+        plan = parse_faults("torn@cache:1.0")
+        assert all(plan.decide("torn", "cache", f"k{i}")
+                   for i in range(32))
+
+    def test_retry_draws_a_fresh_coin(self):
+        # worker keys embed the attempt: the same query flips different
+        # coins across retries, so a crashed query can converge
+        plan = parse_faults("crash@worker:0.5", seed=0)
+        flips = {plan.decide("crash", "worker", f"deadbeef:{a}")
+                 for a in range(32)}
+        assert flips == {True, False}
+
+
+class TestActivePlan:
+    def test_unset_is_none(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        assert active_plan() is None
+
+    def test_env_selects_and_memoizes(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "crash@worker:0.5")
+        monkeypatch.setenv(FAULTS_SEED_ENV, "9")
+        plan = active_plan()
+        assert plan is not None and plan.seed == 9
+        assert active_plan() is plan  # memo: same env, same object
+        monkeypatch.setenv(FAULTS_SEED_ENV, "10")
+        assert active_plan().seed == 10  # env change re-parses
+
+    def test_garbage_env_raises(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "crash@worker")
+        with pytest.raises(ReproError, match="malformed"):
+            active_plan()
+
+    def test_bad_seed_raises(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "crash@worker:0.5")
+        monkeypatch.setenv(FAULTS_SEED_ENV, "pi")
+        with pytest.raises(ReproError, match=FAULTS_SEED_ENV):
+            active_plan()
+
+
+class TestSites:
+    def test_noop_without_a_plan(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        fault_site("worker", "anything")
+        assert torn_write("store", "anything") is False
+
+    def test_main_process_crash_raises(self, monkeypatch):
+        # in the parent, crash must raise (not kill the CLI): jobs=1
+        # sweeps degrade to the retry/quarantine path
+        monkeypatch.setenv(FAULTS_ENV, "crash@worker:1.0")
+        with pytest.raises(InjectedCrash):
+            fault_site("worker", "k:0")
+
+    def test_main_process_hang_raises(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "hang@worker:1.0")
+        with pytest.raises(InjectedHang):
+            fault_site("worker", "k:0")
+
+    def test_injected_faults_are_repro_errors(self):
+        assert issubclass(InjectedCrash, ReproError)
+        assert issubclass(InjectedHang, ReproError)

@@ -108,6 +108,44 @@ class TestExploreCommand:
         out = capsys.readouterr().out
         assert "jam(2)+squash(2)" in out and "acev::ports=1" in out
 
+    def test_quarantine_surfaces_and_sets_exit_code(self, tmp_path,
+                                                    monkeypatch, capsys):
+        # every worker dispatch crash-injected, zero retries: the whole
+        # sweep quarantines, the report says so, and the exit code is
+        # distinct from success — never a silent partial result
+        monkeypatch.setenv("REPRO_FAULTS", "crash@worker:1.0")
+        assert main(["explore", "--kernel", "iir",
+                     "--variants", "original", "--jobs", "1",
+                     "--retries", "0", "--no-cache"]) == 3
+        out = capsys.readouterr().out
+        assert "1 failed (quarantined)" in out
+        assert "Quarantined designs" in out and "crash" in out
+
+    def test_retries_recover_injected_crashes(self, tmp_path,
+                                              monkeypatch, capsys):
+        # p=0.5 coins are re-flipped per attempt: a generous --retries
+        # budget converges to the full clean result set
+        monkeypatch.setenv("REPRO_FAULTS", "crash@worker:0.5")
+        monkeypatch.setenv("REPRO_FAULTS_SEED", "11")
+        assert main(["explore", "--kernel", "iir", "--factors", "2",
+                     "--jobs", "1", "--retries", "25",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "4 evaluated, 0 skipped" in out
+        assert "failed" not in out
+
+    def test_resume_rejects_no_cache(self, capsys):
+        assert main(["explore", "--kernel", "iir", "--resume",
+                     "--no-cache"]) == 2
+        assert "--resume needs the result cache" in \
+            capsys.readouterr().err
+
+    def test_bad_fault_spec_fails_before_forking(self, monkeypatch):
+        from repro.errors import ReproError
+        monkeypatch.setenv("REPRO_FAULTS", "crash@worker")
+        with pytest.raises(ReproError, match="malformed"):
+            main(["explore", "--kernel", "iir", "--no-cache"])
+
 
 class TestMainModuleAlias:
     def test_bench_quick_writes_json_and_checks_golden(self, tmp_path,

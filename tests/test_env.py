@@ -3,7 +3,10 @@ and the worker-count scaling rules."""
 
 import pytest
 
-from repro.env import analysis_cache_mode, env_int, verify_mode
+from repro.env import (
+    BATCH_TIMEOUT_ENV, RETRIES_ENV, analysis_cache_mode, batch_timeout,
+    env_float, env_int, retries, verify_mode,
+)
 from repro.errors import ReproError
 from repro.explore.engine import (
     _MAX_DEFAULT_JOBS, _MAX_SCALED_JOBS, default_jobs,
@@ -32,6 +35,62 @@ class TestEnvInt:
         monkeypatch.setenv("REPRO_TEST_KNOB", "-3")
         with pytest.raises(ReproError, match="minimum is 1"):
             env_int("REPRO_TEST_KNOB", 7, minimum=1)
+
+
+class TestEnvFloat:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_KNOB", raising=False)
+        assert env_float("REPRO_TEST_KNOB", 1.5) == 1.5
+        assert env_float("REPRO_TEST_KNOB", None) is None
+
+    def test_valid_value_parses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "2.5")
+        assert env_float("REPRO_TEST_KNOB", None) == 2.5
+
+    def test_non_numeric_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "soon")
+        with pytest.raises(ReproError, match="REPRO_TEST_KNOB.*number"):
+            env_float("REPRO_TEST_KNOB", None)
+
+    def test_exclusive_minimum(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "0")
+        with pytest.raises(ReproError, match="> 0"):
+            env_float("REPRO_TEST_KNOB", None, minimum=0.0,
+                      exclusive=True)
+
+
+class TestSupervisionKnobs:
+    def test_retries_default(self, monkeypatch):
+        monkeypatch.delenv(RETRIES_ENV, raising=False)
+        assert retries() == 2
+
+    def test_retries_env_and_override(self, monkeypatch):
+        monkeypatch.setenv(RETRIES_ENV, "5")
+        assert retries() == 5
+        assert retries(0) == 0  # explicit override beats the env
+
+    def test_retries_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv(RETRIES_ENV, "-1")
+        with pytest.raises(ReproError, match=RETRIES_ENV):
+            retries()
+        with pytest.raises(ReproError, match="retries"):
+            retries(-3)
+
+    def test_batch_timeout_default_off(self, monkeypatch):
+        monkeypatch.delenv(BATCH_TIMEOUT_ENV, raising=False)
+        assert batch_timeout() is None
+
+    def test_batch_timeout_env_and_override(self, monkeypatch):
+        monkeypatch.setenv(BATCH_TIMEOUT_ENV, "1.5")
+        assert batch_timeout() == 1.5
+        assert batch_timeout(9.0) == 9.0
+
+    def test_batch_timeout_rejects_nonpositive(self, monkeypatch):
+        monkeypatch.setenv(BATCH_TIMEOUT_ENV, "0")
+        with pytest.raises(ReproError, match=BATCH_TIMEOUT_ENV):
+            batch_timeout()
+        with pytest.raises(ReproError, match="> 0"):
+            batch_timeout(0.0)
 
 
 class TestKnobValidation:
