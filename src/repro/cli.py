@@ -34,6 +34,13 @@ Commands
 ``profile``     Table 1.1-style loop profile of one benchmark;
 ``squash``      transform one benchmark kernel, verify it, and report the
                 hardware estimate;
+``trace``       validate an exported Chrome ``trace_event`` JSON file
+                (``--trace out.json`` on tables/explore/bench) and
+                summarize its events;
+``stats``       render the metrics summary embedded in an exported
+                trace (per-stage/per-kernel percentiles, cache hit
+                rates, scheduler search effort, supervision tallies),
+                or the registered ``REPRO_*`` knob table (``--knobs``);
 ``list``        list available benchmarks.
 
 Exploration examples::
@@ -53,8 +60,42 @@ drops it before running.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import pathlib
 import sys
+
+
+@contextlib.contextmanager
+def _tracing(out_path):
+    """Force tracing on for one command and export the merged trace.
+
+    ``--trace out.json`` support: turns ``REPRO_TRACE`` on for the
+    duration (respecting an already-on ``1``/``full`` setting), restores
+    the environment afterwards, and writes whatever the run buffered —
+    supervisor spans plus every worker's shipped events — to
+    ``out_path``.  The export runs even when the command fails, so an
+    interrupted sweep still leaves an inspectable trace.
+    """
+    if not out_path:
+        yield
+        return
+    import os
+
+    from repro.env import TRACE_ENV
+    from repro.obs import trace as obs_trace
+    saved = os.environ.get(TRACE_ENV)
+    if not obs_trace.enabled():
+        os.environ[TRACE_ENV] = "1"
+    obs_trace.drain()  # an earlier command's events are not this run's
+    try:
+        yield
+    finally:
+        n = obs_trace.export_trace(out_path)
+        if saved is None:
+            os.environ.pop(TRACE_ENV, None)
+        else:
+            os.environ[TRACE_ENV] = saved
+        print(f"wrote {out_path} ({n} trace events)", file=sys.stderr)
 
 
 def _cmd_list(args) -> int:
@@ -69,6 +110,11 @@ def _cmd_list(args) -> int:
 
 
 def _cmd_tables(args) -> int:
+    with _tracing(args.trace):
+        return _run_tables(args)
+
+
+def _run_tables(args) -> int:
     from repro.harness import (
         format_fig_2_4, format_figure, format_table_1_1, format_table_6_1,
         format_table_6_2, format_table_6_3, run_fig_2_4, run_table_1_1,
@@ -121,6 +167,11 @@ def _cmd_tables(args) -> int:
 
 
 def _cmd_explore(args) -> int:
+    with _tracing(args.trace):
+        return _run_explore(args)
+
+
+def _run_explore(args) -> int:
     from repro.explore import (
         DesignSpace, NullCache, ResultCache, SweepInterrupted, evaluate,
         format_best, format_fails, format_pareto, format_skips,
@@ -151,10 +202,17 @@ def _cmd_explore(args) -> int:
               file=sys.stderr)
         return 2
     cache = NullCache() if args.no_cache else ResultCache(args.cache_dir)
+    progress = None
+    if args.progress and sys.stdout.isatty():
+        # progress noise only makes sense on a live terminal; piped runs
+        # (CI logs, `> out.txt`) silently drop it
+        from repro.obs.progress import ProgressLine
+        progress = ProgressLine()
     try:
         result = evaluate(space.enumerate(), jobs=args.jobs, cache=cache,
                           retries=args.retries,
-                          batch_timeout=args.timeout)
+                          batch_timeout=args.timeout,
+                          on_progress=progress.update if progress else None)
     except SweepInterrupted as exc:
         # completed batches were committed before the pool came down
         print(f"\ninterrupted: {exc}", file=sys.stderr)
@@ -162,6 +220,9 @@ def _cmd_explore(args) -> int:
             print("resume with the same command (add --resume to make "
                   "the intent explicit)", file=sys.stderr)
         return 130
+    finally:
+        if progress is not None:
+            progress.finish()
 
     sections = [format_summary(result)]
     if args.pareto:
@@ -186,6 +247,11 @@ def _cmd_explore(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    with _tracing(args.trace):
+        return _run_bench(args)
+
+
+def _run_bench(args) -> int:
     import json
 
     from repro.harness.bench import format_bench, run_sweep_bench
@@ -278,6 +344,55 @@ def _cmd_verify(args) -> int:
     print(f"verified {checked} design(s) in {args.mode} mode, "
           f"{skipped} skipped, {failed} failed")
     return 1 if failed else 0
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro.obs.stats import summarize_events
+    from repro.obs.trace import validate_trace
+    try:
+        doc = json.loads(pathlib.Path(args.file).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_trace(doc)
+    if problems:
+        for p in problems[:20]:
+            print(p, file=sys.stderr)
+        if len(problems) > 20:
+            print(f"... and {len(problems) - 20} more", file=sys.stderr)
+        print(f"{args.file}: INVALID ({len(problems)} problem(s))",
+              file=sys.stderr)
+        return 1
+    print(f"{args.file}: valid Chrome trace_event JSON")
+    print(summarize_events(doc["traceEvents"]), end="")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    import json
+
+    from repro.obs.stats import format_knobs, format_stats
+    if args.knobs:
+        print(format_knobs(), end="")
+        return 0
+    if not args.file:
+        print("stats needs an exported trace file (or --knobs)",
+              file=sys.stderr)
+        return 2
+    try:
+        doc = json.loads(pathlib.Path(args.file).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    snapshot = doc.get("reproMetrics")
+    if not isinstance(snapshot, dict):
+        print(f"{args.file} has no 'reproMetrics' block (is it a repro "
+              "--trace export?)", file=sys.stderr)
+        return 1
+    print(format_stats(snapshot), end="")
+    return 0
 
 
 def _cmd_lint(args) -> int:
@@ -443,6 +558,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: the target's; see repro.hw.schedulers)")
     t.add_argument("--source", action="append", default=None,
                    help="also sweep a .lang source kernel (repeatable)")
+    t.add_argument("--trace", metavar="OUT.json", default=None,
+                   help="export a Chrome trace_event JSON of the run "
+                        "(forces REPRO_TRACE on for the duration)")
     t.set_defaults(fn=_cmd_tables)
 
     e = sub.add_parser(
@@ -498,6 +616,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "or $REPRO_CACHE_DIR)")
     e.add_argument("--clear-cache", action="store_true",
                    help="drop cached results before running")
+    e.add_argument("--trace", metavar="OUT.json", default=None,
+                   help="export a Chrome trace_event JSON of the sweep "
+                        "(forces REPRO_TRACE on for the duration)")
+    e.add_argument("--progress", action="store_true",
+                   help="live progress line on stderr (designs done, "
+                        "rate, ETA; auto-disabled when stdout is not a "
+                        "terminal)")
     e.set_defaults(fn=_cmd_explore)
 
     b = sub.add_parser(
@@ -512,13 +637,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="strategy for pipelined variants (default: target's)")
     b.add_argument("--jobs", type=int, default=None,
                    help="workers per phase (default: scaled to the sweep)")
-    b.add_argument("--out", default="BENCH_9.json",
+    b.add_argument("--out", default="BENCH_10.json",
                    help="where to write the JSON record")
     b.add_argument("--vliw-target", default="vliw4",
                    help="second-backend retarget phase spec "
                         "('' disables it)")
     b.add_argument("--baseline",
                    help="baseline JSON ({cold_wall_s, ...}) for speedups")
+    b.add_argument("--trace", metavar="OUT.json", default=None,
+                   help="export a Chrome trace_event JSON of the bench "
+                        "run (forces REPRO_TRACE on for the duration)")
     b.set_defaults(fn=_cmd_bench)
 
     v = sub.add_parser(
@@ -544,6 +672,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="verifier depth (default: strict, including the "
                         "MaxLive/MII/exact-II re-derivations)")
     v.set_defaults(fn=_cmd_verify)
+
+    tr = sub.add_parser(
+        "trace", help="validate and summarize an exported trace file")
+    tr.add_argument("file", help="a --trace OUT.json export")
+    tr.set_defaults(fn=_cmd_trace)
+
+    st = sub.add_parser(
+        "stats", help="render the metrics summary from an exported trace")
+    st.add_argument("file", nargs="?", default=None,
+                    help="a --trace OUT.json export (its embedded "
+                         "reproMetrics block is rendered)")
+    st.add_argument("--knobs", action="store_true",
+                    help="print the registered REPRO_* environment-knob "
+                         "table instead")
+    st.set_defaults(fn=_cmd_stats)
 
     ln = sub.add_parser(
         "lint", help="statically lint .lang sources (no scheduling)")

@@ -11,15 +11,16 @@ traceback from deep inside a worker process.
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import ReproError
 
 __all__ = ["ANALYSIS_CACHE_ENV", "BATCH_TIMEOUT_ENV", "DFG_JAM_ENV",
-           "RETRIES_ENV", "SCHED_KERNEL_ENV", "VERIFY_ENV",
-           "analysis_cache_mode", "batch_timeout", "dfg_jam_enabled",
-           "env_float", "env_int", "retries", "sched_kernel_enabled",
-           "verify_mode"]
+           "KNOBS", "Knob", "RETRIES_ENV", "SCHED_KERNEL_ENV", "TRACE_ENV",
+           "VERIFY_ENV", "analysis_cache_mode", "batch_timeout",
+           "dfg_jam_enabled", "env_float", "env_int", "registered_knobs",
+           "retries", "sched_kernel_enabled", "trace_mode", "verify_mode"]
 
 #: Controls the shared-analysis machinery (see :mod:`repro.pipeline.analysis`
 #: and :mod:`repro.hw.iimemo`): ``"0"`` disables sharing entirely (the
@@ -62,8 +63,83 @@ RETRIES_ENV = "REPRO_RETRIES"
 #: the engine could guess).
 BATCH_TIMEOUT_ENV = "REPRO_BATCH_TIMEOUT"
 
+#: Controls the span/event tracer (see :mod:`repro.obs.trace`): unset/
+#: ``"0"``/``"off"`` (default) hands out no-op spans with no allocation on
+#: the hot path, ``"1"``/``"on"`` records pipeline/scheduler/cache/
+#: supervisor spans, and ``"full"`` adds high-volume detail (per-candidate-
+#: II instants).  Traced runs are byte-identical to untraced ones — the
+#: tracer only observes.
+TRACE_ENV = "REPRO_TRACE"
+
 #: Default retry budget when neither the CLI nor the env chooses.
 DEFAULT_RETRIES = 2
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One registered ``REPRO_*`` environment knob.
+
+    The single source of truth for the README environment tables and
+    ``repro stats --knobs`` — a knob that lands without a row here fails
+    ``tests/obs/test_stats.py``, which greps ``src/`` for every
+    ``REPRO_*`` read and checks it against :data:`KNOBS`.
+    """
+
+    name: str
+    values: str
+    default: str
+    summary: str
+
+
+#: Every environment variable the code under ``src/`` reads, with the
+#: accepted values and the behaviour at each setting.  Order is the
+#: presentation order of ``repro stats --knobs`` and the README tables.
+KNOBS: "tuple[Knob, ...]" = (
+    Knob("REPRO_JOBS", "int >= 1", "1",
+         "Worker-process count for sweeps (same as --jobs)."),
+    Knob("REPRO_CACHE_DIR", "path", ".repro_cache",
+         "Root directory of the result cache and artifact store."),
+    Knob("REPRO_ANALYSIS_CACHE", "0 | mem | 1", "1",
+         "Analysis sharing: 0 disables, mem keeps the in-process tier "
+         "only, 1 enables the two-tier (memory + disk) cache."),
+    Knob("REPRO_SCHED_KERNEL", "0 | 1", "1",
+         "0 pins the pure-Python scheduler core; 1 uses the numpy "
+         "array kernels (bit-identical schedules)."),
+    Knob("REPRO_DFG_JAM", "0 | 1", "1",
+         "0 re-lowers jam variants through clone/3AC/SSA; 1 derives "
+         "the jammed DFG directly (identical artifacts)."),
+    Knob("REPRO_VERIFY", "0/off | 1/on | strict", "off",
+         "Static artifact verifiers between pipeline stages; strict "
+         "adds re-derivation cross-checks.  Output is byte-identical."),
+    Knob("REPRO_TRACE", "0/off | 1/on | full", "off",
+         "Span/event tracer: on records pipeline/scheduler/cache/"
+         "supervisor spans, full adds per-candidate-II detail.  "
+         "Output is byte-identical."),
+    Knob("REPRO_EXACT_BUDGET", "int >= 1", "200000",
+         "Search-node budget across the exact scheduler's whole II "
+         "sweep; exhausting it degrades the optimality claim."),
+    Knob("REPRO_EXACT_NODE_LIMIT", "int >= 1", "400",
+         "Largest DFG (node count) the exact scheduler will attempt; "
+         "bigger graphs skip the exact search."),
+    Knob("REPRO_RETRIES", "int >= 0", str(DEFAULT_RETRIES),
+         "Re-dispatch attempts for a failing batch before bisecting "
+         "toward the culprit query (same as --retries)."),
+    Knob("REPRO_BATCH_TIMEOUT", "float seconds > 0", "unset",
+         "Per-batch wall-clock budget; overruns presume a hang and "
+         "respawn the pool (same as --timeout).  Unset disables."),
+    Knob("REPRO_FAULTS", "kind@site:prob,...", "unset",
+         "Deterministic fault-injection plan, e.g. crash@worker:0.3,"
+         "torn@store:0.5.  Sites: worker (crash/hang), store/cache "
+         "(torn)."),
+    Knob("REPRO_FAULTS_SEED", "int", "0",
+         "Seed for the fault plan's SHA-256 coins; same seed, same "
+         "plan, same decisions in every process."),
+)
+
+
+def registered_knobs() -> "dict[str, Knob]":
+    """The knob table keyed by variable name."""
+    return {k.name: k for k in KNOBS}
 
 
 def env_int(name: str, default: Optional[int],
@@ -173,3 +249,24 @@ def verify_mode() -> str:
     raise ReproError(
         f"{VERIFY_ENV}={raw!r} is not a recognized mode; "
         "use 0/off, 1/on, or strict")
+
+
+def trace_mode() -> str:
+    """The tracer mode: ``"off"``, ``"on"``, or ``"full"``.
+
+    Unrecognized values raise :class:`ReproError` naming the variable
+    and the accepted spellings, like every other knob.
+    """
+    raw = os.environ.get(TRACE_ENV)
+    if raw is None:
+        return "off"
+    val = raw.strip().lower()
+    if val in ("", "0", "off"):
+        return "off"
+    if val in ("1", "on"):
+        return "on"
+    if val == "full":
+        return "full"
+    raise ReproError(
+        f"{TRACE_ENV}={raw!r} is not a recognized mode; "
+        "use 0/off, 1/on, or full")

@@ -25,6 +25,15 @@ from dataclasses import dataclass
 from repro.caches import register_cache
 from repro.explore.space import DesignQuery, SkipRecord
 from repro.hw.report import DesignPoint
+from repro.obs import metrics as obs_metrics
+
+#: Registry counters aggregated across every ResultCache instance in the
+#: process; the per-instance CacheStats dataclasses stay the per-run
+#: source of truth (ExploreResult.cache_stats diffs them around a run).
+_HITS = obs_metrics.counter("explore.cache.hits")
+_MISSES = obs_metrics.counter("explore.cache.misses")
+_STORES = obs_metrics.counter("explore.cache.stores")
+_TORN = obs_metrics.counter("explore.cache.torn")
 
 __all__ = ["CacheStats", "NullCache", "ResultCache", "code_version",
            "default_cache_dir"]
@@ -100,6 +109,7 @@ class NullCache:
 
     def get(self, query: DesignQuery):
         self.stats.misses += 1
+        _MISSES.add()
         return None
 
     def put(self, query: DesignQuery, result) -> None:
@@ -153,8 +163,10 @@ class ResultCache:
             # ``version=`` can serve foreign records): treat as a miss
             # and recompute rather than crash the sweep.
             self.stats.misses += 1
+            _MISSES.add()
             return None
         self.stats.hits += 1
+        _HITS.add()
         return result
 
     def put(self, query: DesignQuery,
@@ -174,8 +186,10 @@ class ResultCache:
             # drop the line and treat the query as a miss.
             line = line[:max(1, len(line) // 2)].rstrip("\n")
             self.stats.torn += 1
+            _TORN.add()
         else:
             self.stats.stores += 1
+            _STORES.add()
         with self.path.open("a") as fh:
             fh.write(line)
 

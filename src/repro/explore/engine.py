@@ -40,6 +40,8 @@ from repro.explore.supervise import (
 )
 from repro.hw.report import DesignPoint
 from repro.nimble.compiler import compile_query_batch
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 __all__ = ["ExploreResult", "default_jobs", "evaluate"]
 
@@ -216,7 +218,8 @@ def evaluate(queries: "Sequence[DesignQuery] | Iterable[DesignQuery]",
              cache: "ResultCache | NullCache | None" = None,
              chunksize: Optional[int] = None,
              retries: Optional[int] = None,
-             batch_timeout: Optional[float] = None) -> ExploreResult:
+             batch_timeout: Optional[float] = None,
+             on_progress=None) -> ExploreResult:
     """Evaluate every query, through the cache, under supervision.
 
     ``jobs=None`` picks :func:`default_jobs` scaled by the cache-miss
@@ -232,6 +235,10 @@ def evaluate(queries: "Sequence[DesignQuery] | Iterable[DesignQuery]",
     accepted for backwards compatibility and ignored: supervised
     dispatch submits each batch as its own future so failures are
     attributable and results commit incrementally.
+
+    ``on_progress`` (optional) receives a small dict (designs done /
+    total, retries, quarantines, respawns) after every batch completion
+    or failure — the ``--progress`` live line.  Purely observational.
 
     Completed batches are committed to the cache as they land, so a
     sweep that dies — crash, OOM, Ctrl-C (re-raised as
@@ -275,6 +282,8 @@ def evaluate(queries: "Sequence[DesignQuery] | Iterable[DesignQuery]",
         jobs = default_jobs(len(todo)) if jobs is None else max(1, jobs)
         batches = _batched(todo, jobs)
         workers = min(jobs, len(batches))
+        pooled = workers > 1
+        obs_metrics.gauge("explore.jobs").set(workers)
 
         def on_payload(positions: Sequence[int], payload: dict) -> None:
             # commit this batch NOW: a later crash must not discard it
@@ -286,6 +295,18 @@ def evaluate(queries: "Sequence[DesignQuery] | Iterable[DesignQuery]",
                     + seconds
             for key, val in payload["counters"].items():
                 cache_counters[key] = cache_counters.get(key, 0) + val
+            # merge the batch's observability home.  Trace events are
+            # safe to re-inject unconditionally (the worker drained its
+            # buffer into the payload, so inline mode moves, not
+            # duplicates); the metrics delta merges only from *pooled*
+            # workers — inline batches already mutated this process's
+            # registry directly, and merging their delta would double-
+            # count every counter.
+            obs_trace.inject(payload.get("trace") or [])
+            if pooled:
+                delta = payload.get("metrics")
+                if delta:
+                    obs_metrics.registry().merge(delta)
 
         def on_failure(failure: BatchFailure) -> None:
             results[pending[failure.position]] = FailRecord(
@@ -294,14 +315,18 @@ def evaluate(queries: "Sequence[DesignQuery] | Iterable[DesignQuery]",
                 elapsed=failure.elapsed)
 
         stats: SuperviseStats
-        if workers <= 1:
-            stats = run_inline(batches, todo, compile_query_batch,
-                               on_payload, on_failure, retries=retries)
-        else:
-            stats = run_supervised(batches, todo, compile_query_batch,
-                                   on_payload, on_failure,
-                                   workers=workers, retries=retries,
-                                   batch_timeout=batch_timeout)
+        with obs_trace.span("evaluate", "explore", designs=len(todo),
+                            batches=len(batches), workers=workers):
+            if workers <= 1:
+                stats = run_inline(batches, todo, compile_query_batch,
+                                   on_payload, on_failure, retries=retries,
+                                   on_progress=on_progress)
+            else:
+                stats = run_supervised(batches, todo, compile_query_batch,
+                                       on_payload, on_failure,
+                                       workers=workers, retries=retries,
+                                       batch_timeout=batch_timeout,
+                                       on_progress=on_progress)
         if stats.eventful:
             supervision = stats.as_dict()
     else:

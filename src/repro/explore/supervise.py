@@ -48,6 +48,9 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
 __all__ = ["BatchFailure", "SuperviseStats", "SweepInterrupted",
            "run_inline", "run_supervised"]
 
@@ -135,23 +138,44 @@ class _Run:
     def __init__(self, batches: Sequence[Sequence[int]],
                  on_payload: Callable[[Sequence[int], object], None],
                  on_failure: Callable[[BatchFailure], None],
-                 retries: int):
+                 retries: int,
+                 on_progress: Optional[Callable[[dict], None]] = None):
         self.queue: "deque[_Task]" = deque(
             _Task(tuple(posns)) for posns in batches)
         self.on_payload = on_payload
         self.on_failure = on_failure
+        self.on_progress = on_progress
         self.retries = retries
         self.stats = SuperviseStats()
         self.total = len(self.queue)
+        self.total_items = sum(len(t.positions) for t in self.queue)
+        self.done_items = 0
         self.committed = 0
         #: consecutive pool-teardown events since the last completed
         #: batch — the backoff exponent, so progress resets the delay
         self.backoff_streak = 0
 
+    def _progress(self) -> None:
+        if self.on_progress is not None:
+            self.on_progress({
+                "done": self.done_items, "total": self.total_items,
+                "retries": self.stats.retries,
+                "quarantined": self.stats.quarantined,
+                "respawns": self.stats.respawns})
+
     def complete(self, task: _Task, payload: object) -> None:
         self.on_payload(task.positions, payload)
         self.committed += 1
+        self.done_items += len(task.positions)
         self.backoff_streak = 0
+        obs_metrics.counter("supervise.batches").add()
+        obs_metrics.counter("supervise.designs").add(len(task.positions))
+        if task.started:
+            obs_trace.emit_span("batch", "supervise", task.started,
+                                time.perf_counter(),
+                                designs=len(task.positions),
+                                attempt=task.attempts)
+        self._progress()
 
     def fail(self, task: _Task, kind: str, reason: str,
              elapsed: float) -> None:
@@ -161,22 +185,35 @@ class _Run:
         task.last_kind, task.last_reason = kind, reason
         if task.attempts <= self.retries:
             self.stats.retries += 1
+            obs_metrics.counter("supervise.retries").add()
+            obs_trace.instant("retry", "supervise", kind=kind,
+                              attempt=task.attempts,
+                              designs=len(task.positions))
             self.queue.append(task)
+            self._progress()
             return
         if len(task.positions) > 1:
             # The batch keeps failing: split it so the culprit query is
             # cornered while its neighbors get a fresh budget.  Total
             # work stays O(retries * n log n) per poisoned batch.
             self.stats.bisections += 1
+            obs_metrics.counter("supervise.bisects").add()
+            obs_trace.instant("bisect", "supervise", kind=kind,
+                              designs=len(task.positions))
             mid = len(task.positions) // 2
             self.queue.appendleft(_Task(task.positions[mid:]))
             self.queue.appendleft(_Task(task.positions[:mid]))
             self.total += 1
             return
         self.stats.quarantined += 1
+        self.done_items += 1
+        obs_metrics.counter("supervise.quarantined").add()
+        obs_trace.instant("quarantine", "supervise", kind=kind,
+                          attempts=task.attempts)
         self.on_failure(BatchFailure(
             position=task.positions[0], kind=kind, reason=reason,
             attempts=task.attempts, elapsed=round(task.elapsed, 4)))
+        self._progress()
 
 
 def _kill_pool(pool: Optional[ProcessPoolExecutor]) -> None:
@@ -212,19 +249,22 @@ def run_inline(batches: Sequence[Sequence[int]],
                worker_fn: Callable,
                on_payload: Callable[[Sequence[int], object], None],
                on_failure: Callable[[BatchFailure], None],
-               retries: int = 0) -> SuperviseStats:
+               retries: int = 0,
+               on_progress: Optional[Callable[[dict], None]] = None
+               ) -> SuperviseStats:
     """Poolless supervised dispatch (``jobs=1``): same policy, no forks.
 
     Injected main-process faults and real worker exceptions both arrive
     as exceptions here; ``KeyboardInterrupt`` commits nothing further
     and re-raises as :class:`SweepInterrupted`.
     """
-    run = _Run(batches, on_payload, on_failure, retries)
+    run = _Run(batches, on_payload, on_failure, retries,
+               on_progress=on_progress)
     try:
         while run.queue:
             task = run.queue.popleft()
             run.stats.dispatches += 1
-            t0 = time.perf_counter()
+            t0 = task.started = time.perf_counter()
             try:
                 payload = worker_fn([items[p] for p in task.positions],
                                     task.attempts)
@@ -249,7 +289,9 @@ def run_supervised(batches: Sequence[Sequence[int]],
                    workers: int,
                    retries: int = 0,
                    batch_timeout: Optional[float] = None,
-                   mp_context=None) -> SuperviseStats:
+                   mp_context=None,
+                   on_progress: Optional[Callable[[dict], None]] = None
+                   ) -> SuperviseStats:
     """Pool-backed supervised dispatch — the engine's parallel core.
 
     Submits at most ``workers`` batches at a time (so deadlines measure
@@ -257,7 +299,8 @@ def run_supervised(batches: Sequence[Sequence[int]],
     and applies the module-level failure policy.  ``worker_fn`` must be
     a picklable module-level callable taking ``(items, attempt)``.
     """
-    run = _Run(batches, on_payload, on_failure, retries)
+    run = _Run(batches, on_payload, on_failure, retries,
+               on_progress=on_progress)
     pool: Optional[ProcessPoolExecutor] = None
     inflight: dict[Future, _Task] = {}
 
@@ -272,6 +315,8 @@ def run_supervised(batches: Sequence[Sequence[int]],
         run.backoff_streak += 1
         run.stats.respawns += 1
         run.stats.backoff_s += delay
+        obs_metrics.counter("supervise.respawns").add()
+        obs_trace.instant("respawn", "supervise", backoff_s=delay)
         time.sleep(delay)
         pool = spawn()
 
@@ -361,6 +406,7 @@ def run_supervised(batches: Sequence[Sequence[int]],
                                 if now > t.deadline), None)
                 if overdue is not None:
                     run.stats.timeouts += 1
+                    obs_metrics.counter("supervise.timeouts").add()
                     abandon_inflight(
                         "timeout",
                         f"batch exceeded the {batch_timeout:g}s "

@@ -58,6 +58,14 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import ReproError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+#: Faults this process actually fired (main-process raises and torn
+#: publishes).  Worker-side crash/hang faults kill or wedge the process
+#: before any payload ships, so they cannot count themselves — the
+#: supervisor's retry/timeout counters are the observable record there.
+_INJECTED = obs_metrics.counter("faults.injected")
 
 __all__ = ["FAULTS_ENV", "FAULTS_SEED_ENV", "FaultPlan", "FaultRule",
            "InjectedCrash", "InjectedFault", "InjectedHang", "active_plan",
@@ -206,14 +214,22 @@ def fault_site(site: str, key: str) -> None:
     if plan.decide("crash", site, key):
         if _in_worker_process():
             os._exit(CRASH_EXIT_CODE)
+        _INJECTED.add()
+        obs_trace.instant("fault.crash", "faults", site=site, key=key)
         raise InjectedCrash(f"injected crash at {site} ({key})")
     if plan.decide("hang", site, key):
         if _in_worker_process():
             time.sleep(_HANG_SECONDS)
+        _INJECTED.add()
+        obs_trace.instant("fault.hang", "faults", site=site, key=key)
         raise InjectedHang(f"injected hang at {site} ({key})")
 
 
 def torn_write(site: str, key: str) -> bool:
     """Should this publish be torn?  ``False`` without a plan."""
     plan = active_plan()
-    return plan is not None and plan.decide("torn", site, key)
+    torn = plan is not None and plan.decide("torn", site, key)
+    if torn:
+        _INJECTED.add()
+        obs_trace.instant("fault.torn", "faults", site=site, key=key)
+    return torn

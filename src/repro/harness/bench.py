@@ -48,7 +48,11 @@ __all__ = ["format_bench", "run_sweep_bench"]
 #: fault-free under the supervised engine, then under injected worker
 #: crashes and torn cache/store writes, asserting byte-identical
 #: results and recording the supervision counters and overhead.
-SCHEMA = 5
+#: 6 = added the ``trace_overhead`` phase: the warm-recompile sweep
+#: re-run with ``REPRO_TRACE=full``, recording the tracing wall-time
+#: delta (``overhead_s``) and merged event count, asserting traced
+#: results are identical and the merged stream is a valid Chrome trace.
+SCHEMA = 6
 
 
 def _golden_dir() -> pathlib.Path:
@@ -289,9 +293,41 @@ def run_sweep_bench(factors: Sequence[int] = (2, 4, 8, 16),
     verify_overhead["overhead_s"] = round(
         verify_overhead["wall_s"] - warm_recompile["wall_s"], 4)
 
+    # and once more with the span tracer in full mode: the delta
+    # against warm_recompile is the tracing tax, the results must be
+    # byte-identical (the tracer only observes), and the merged
+    # supervisor+worker event stream must be a valid Chrome trace
+    from repro.env import TRACE_ENV
+    from repro.obs import trace as obs_trace
+    clear_caches(memory_only=True)
+    ResultCache().clear()
+    saved_trace = os.environ.get(TRACE_ENV)
+    os.environ[TRACE_ENV] = "full"
+    obs_trace.drain()  # earlier phases' events are not this phase's
+    try:
+        trace_overhead, trace_result = _phase(queries, jobs)
+    finally:
+        if saved_trace is None:
+            os.environ.pop(TRACE_ENV, None)
+        else:
+            os.environ[TRACE_ENV] = saved_trace
+    events = obs_trace.drain()
+    if trace_result.results != recompile_result.results:  # pragma: no cover
+        raise RuntimeError("the span tracer changed sweep results — "
+                           "REPRO_TRACE must be observation-only")
+    problems = obs_trace.validate_trace(obs_trace.trace_header(events))
+    if problems:  # pragma: no cover - exporter bug
+        raise RuntimeError("trace_overhead produced an invalid trace: "
+                           + "; ".join(problems[:5]))
+    trace_overhead["mode"] = "full"
+    trace_overhead["events"] = len(events)
+    trace_overhead["overhead_s"] = round(
+        trace_overhead["wall_s"] - warm_recompile["wall_s"], 4)
+
     phases = {"cold": cold, "warm_result": warm_result,
               "warm_recompile": warm_recompile,
-              "verify_overhead": verify_overhead}
+              "verify_overhead": verify_overhead,
+              "trace_overhead": trace_overhead}
     if vliw_spec and not target_spec.startswith(vliw_spec.split("::")[0]):
         # second backend, warm front-end: the result cache misses (the
         # target participates in the query hash) but the shared base
@@ -428,7 +464,10 @@ def format_bench(record: dict) -> str:
                      + (f"  [{stages}]" if stages else "")
                      + (f"  ({phase['skipped_designs']} designs rejected)"
                         if phase.get("skipped_designs") else "")
-                     + (f"  (verifier tax {phase['overhead_s']:+.3f}s)"
+                     + ((f"  (tracing tax {phase['overhead_s']:+.3f}s, "
+                         f"{phase['events']} events)"
+                         if "events" in phase else
+                         f"  (verifier tax {phase['overhead_s']:+.3f}s)")
                         if "overhead_s" in phase else ""))
     golden = record.get("golden", {})
     if golden.get("checked"):

@@ -52,6 +52,12 @@ from repro.env import env_int
 from repro.hw.mii import EdgeView, default_edge_view, rec_mii, res_mii
 from repro.hw.modulo import ModuloSchedule, _delay_map
 from repro.hw.ops import OperatorLibrary
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+#: Total branch-and-bound nodes explored across every exact search in
+#: the process (refutations and successes alike).
+_EXACT_NODES = obs_metrics.counter("sched.exact_nodes")
 
 __all__ = ["DEFAULT_BUDGET", "DEFAULT_NODE_LIMIT", "ExactSchedule",
            "IICertificate", "exact_modulo_schedule"]
@@ -392,6 +398,22 @@ def exact_modulo_schedule(dfg: DFG, lib: OperatorLibrary,
     the candidate range (the register-pressure II bump) — a certificate
     under a floor proves minimality *above that floor* only.
     """
+    with obs_trace.span("exact_search", "sched",
+                        nodes=len(dfg.nodes)) as sp:
+        result = _exact_impl(dfg, lib, edges, max_ii, budget, node_limit,
+                             min_ii)
+        _EXACT_NODES.add(result.explored)
+        sp.set(ii=result.ii, certified=result.certified,
+               explored=result.explored)
+        return result
+
+
+def _exact_impl(dfg: DFG, lib: OperatorLibrary,
+                edges: Optional[EdgeView],
+                max_ii: Optional[int],
+                budget: Optional[int],
+                node_limit: Optional[int],
+                min_ii: Optional[int]) -> ExactSchedule:
     from repro.hw.schedulers import backtracking_modulo_schedule
 
     edges = edges if edges is not None else default_edge_view(dfg)

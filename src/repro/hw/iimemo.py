@@ -45,6 +45,7 @@ from repro.core.dfg import DFG
 from repro.env import analysis_cache_mode
 from repro.hw.mii import EdgeView
 from repro.hw.ops import OperatorLibrary
+from repro.obs import metrics as obs_metrics
 from repro.store import iisearch_store
 
 __all__ = ["memo_get", "memo_put", "memo_stats", "search_signature"]
@@ -52,6 +53,12 @@ __all__ = ["memo_get", "memo_put", "memo_stats", "search_signature"]
 #: In-process tier: signature -> record (records are tiny dicts).
 _MEMO = PinningLRU(maxsize=4096)
 register_cache(_MEMO.clear)
+
+
+@obs_metrics.registry().collect
+def _memo_collector() -> dict:
+    """Expose the in-process tier's hit/miss counts to the registry."""
+    return {"iimemo_mem_hits": _MEMO.hits, "iimemo_mem_misses": _MEMO.misses}
 
 #: Identity-keyed memo of the signature's (slots, nodes, view, raw)
 #: body string — everything below the per-search header.  The

@@ -40,8 +40,15 @@ from repro.core.dfg import DFG, DFGNode
 from repro.errors import ScheduleError
 from repro.hw.mii import EdgeView, default_edge_view, min_ii, rec_mii, res_mii
 from repro.hw.ops import OperatorLibrary
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 __all__ = ["ModuloSchedule", "modulo_schedule"]
+
+#: Search-effort counters (module handles: no registry lookup per loop).
+_II_ATTEMPTS = obs_metrics.counter("sched.ii_attempts")
+_II_MEMO_SKIPS = obs_metrics.counter("sched.ii_memo_skips")
+_REPAIRS = obs_metrics.counter("sched.repair_rounds")
 
 #: nid -> resource-name tuple; hoisted out of the placement hot loop.
 ResourceMap = dict[int, tuple[str, ...]]
@@ -191,6 +198,24 @@ def _search(dfg: DFG, lib: OperatorLibrary, edges: EdgeView,
             max_ii: Optional[int] = None,
             flavor: Optional[str] = None,
             min_ii: Optional[int] = None) -> ModuloSchedule:
+    """Traced wrapper over :func:`_search_impl` (the actual II search).
+
+    One ``ii_search`` span per search when tracing is on, stamped with
+    the flavor and the found II; the no-op span costs nothing when off.
+    """
+    with obs_trace.span("ii_search", "sched", nodes=len(dfg.nodes),
+                        flavor=flavor or "modulo") as sp:
+        sched = _search_impl(dfg, lib, edges, orders, max_ii=max_ii,
+                             flavor=flavor, min_ii=min_ii)
+        sp.set(ii=sched.ii)
+        return sched
+
+
+def _search_impl(dfg: DFG, lib: OperatorLibrary, edges: EdgeView,
+                 orders: list[Optional[list[DFGNode]]],
+                 max_ii: Optional[int] = None,
+                 flavor: Optional[str] = None,
+                 min_ii: Optional[int] = None) -> ModuloSchedule:
     """The II search shared by every modulo strategy — incremental.
 
     For each candidate II (starting at ``max(RecMII, ResMII, min_ii)``),
@@ -258,8 +283,12 @@ def _search(dfg: DFG, lib: OperatorLibrary, edges: EdgeView,
     tried: list[int] = []
     for ii in range(start_ii, limit + 1):
         if ii in refuted:
+            _II_MEMO_SKIPS.add()
             tried.append(ii)
             continue
+        _II_ATTEMPTS.add()
+        if obs_trace.full_enabled():
+            obs_trace.instant("ii_try", "sched", ii=ii)
         for oi, order in enumerate(orders):
             if prob is not None:
                 hit = sched_kernel.search_rounds(prob, ii, order_ids[oi],
@@ -278,6 +307,7 @@ def _search(dfg: DFG, lib: OperatorLibrary, edges: EdgeView,
                 return sched
             extra: dict[int, int] = {}
             for _ in range(_REPAIR_ROUNDS):
+                _REPAIRS.add()
                 sched = _attempt(dfg, edges, lib, ii, extra,
                                  order=order if order is not None else topo,
                                  dmap=dmap, preds=preds, rmap=rmap,

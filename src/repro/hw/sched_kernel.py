@@ -48,6 +48,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.env import sched_kernel_enabled
+from repro.obs import metrics as obs_metrics
 
 try:
     import numpy as np
@@ -78,6 +79,11 @@ def kernel_counters() -> dict[str, int]:
     """Snapshot of the monotonic per-core attempt counters."""
     return {"sched_kernel_numpy_attempts": _COUNTS["numpy_attempts"],
             "sched_kernel_python_attempts": _COUNTS["python_attempts"]}
+
+
+# expose the attempt counters through the metrics registry too, so
+# `repro stats` sees them without the legacy _cache_counters plumbing
+obs_metrics.registry().collect(kernel_counters)
 
 
 def count_python_attempt() -> None:

@@ -153,26 +153,24 @@ def compile_query(query: "DesignQuery") -> "DesignPoint | SkipRecord":
         return SkipRecord(query, "schedule", str(exc))
 
 
-def _cache_counters() -> dict[str, int]:
-    """Snapshot of the shared-cache counters this process has seen."""
-    from repro.hw import sched_kernel
-    from repro.hw.iimemo import memo_stats
-    from repro.pipeline.analysis import analysis_cache
-    from repro.store import analysis_store, iisearch_store
+#: The historical ``cache_counters`` key families, all of which now
+#: publish through metrics-registry collectors under the same names.
+_LEGACY_COUNTER_PREFIXES = ("analysis_", "iimemo_", "sched_kernel_")
 
-    ana = analysis_cache()
-    ii = memo_stats()
-    out = {"analysis_mem_hits": ana.hits, "analysis_mem_misses": ana.misses,
-           "iimemo_mem_hits": ii["mem_hits"],
-           "iimemo_mem_misses": ii["mem_misses"]}
-    # scheduler-core provenance: which core placed how many attempts
-    # (workers ship deltas, so sweep records show the split per phase)
-    out.update(sched_kernel.kernel_counters())
-    for name, store in (("analysis", analysis_store()),
-                        ("iimemo", iisearch_store())):
-        for key, val in store.stats.as_dict().items():
-            out[f"{name}_disk_{key}"] = val
-    return out
+
+def _cache_counters() -> dict[str, int]:
+    """Snapshot of the shared-cache counters this process has seen.
+
+    A thin view over the metrics registry: the analysis/II-memo LRUs,
+    the disk stores, and the scheduler-core provenance counters all
+    report through registry collectors under their historical key
+    spellings, so filtering the registry by prefix reproduces the
+    ``ExploreResult.cache_counters`` / bench-record schema exactly.
+    """
+    from repro.obs import metrics as obs_metrics
+    return {key: val
+            for key, val in obs_metrics.registry().counter_values().items()
+            if key.startswith(_LEGACY_COUNTER_PREFIXES)}
 
 
 def compile_query_batch(queries: "Sequence[DesignQuery]",
@@ -194,21 +192,33 @@ def compile_query_batch(queries: "Sequence[DesignQuery]",
     crash/hang draws a *fresh* deterministic coin on each retry.
     """
     from repro.faults import fault_site
-    from repro.pipeline.pipeline import _STAGE_TIMES
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+    from repro.pipeline.pipeline import stage_timings
 
-    before_stages = dict(_STAGE_TIMES)
+    before_stages = {s: rec["seconds"]
+                     for s, rec in stage_timings().items()}
     before_counters = _cache_counters()
-    results = []
-    for q in queries:
-        fault_site("worker", f"{q.query_hash}:{attempt}")
-        results.append(compile_query(q))
-    stages = {stage: seconds - before_stages.get(stage, 0.0)
-              for stage, seconds in _STAGE_TIMES.items()
-              if seconds - before_stages.get(stage, 0.0) > 0.0}
+    before_metrics = obs_metrics.registry().snapshot()
+    with obs_trace.span("batch", "worker", size=len(queries),
+                        attempt=attempt):
+        results = []
+        for q in queries:
+            fault_site("worker", f"{q.query_hash}:{attempt}")
+            results.append(compile_query(q))
+    stages = {stage: rec["seconds"] - before_stages.get(stage, 0.0)
+              for stage, rec in stage_timings().items()
+              if rec["seconds"] - before_stages.get(stage, 0.0) > 0.0}
     counters = {key: val - before_counters.get(key, 0)
                 for key, val in _cache_counters().items()
                 if val - before_counters.get(key, 0)}
-    return {"results": results, "stages": stages, "counters": counters}
+    payload = {"results": results, "stages": stages, "counters": counters,
+               "metrics": obs_metrics.registry().delta_since(before_metrics)}
+    if obs_trace.enabled():
+        # ship the batch's spans home; the engine re-injects them into
+        # the supervisor's buffer so the exported trace is sweep-wide
+        payload["trace"] = obs_trace.drain()
+    return payload
 
 
 def compile_variants(program: Program, nest: Optional[LoopNest] = None,

@@ -1,0 +1,87 @@
+"""Live progress line for long sweeps (``repro explore --progress``).
+
+The supervised engine invokes its ``on_progress`` callback after every
+batch completion, retry, and quarantine with a small dict of tallies;
+:class:`ProgressLine` renders those as a single carriage-return-
+overwritten status line — designs done/total, throughput, ETA, and any
+retry/quarantine noise — on stderr, keeping stdout clean for the
+report.  Updates are throttled so a fast inline sweep does not spend
+its time repainting a terminal.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional
+
+__all__ = ["ProgressLine"]
+
+
+class ProgressLine:
+    """Render sweep progress dicts as one overwritten terminal line."""
+
+    def __init__(self, stream=None, min_interval: float = 0.1):
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self._t0 = time.perf_counter()
+        self._last_paint: Optional[float] = None
+        self._width = 0
+        self._info: dict = {}
+
+    def update(self, info: dict) -> None:
+        """The ``on_progress`` callback: repaint (throttled)."""
+        self._info = info
+        now = time.perf_counter()
+        if self._last_paint is not None and \
+                now - self._last_paint < self.min_interval:
+            return
+        self._last_paint = now
+        self._paint(now)
+
+    def _compose(self, now: float) -> str:
+        done = self._info.get("done", 0)
+        total = self._info.get("total", 0)
+        elapsed = max(now - self._t0, 1e-9)
+        rate = done / elapsed
+        parts = [f"{done}/{total} designs", f"{rate:.1f}/s"]
+        if rate > 0 and total > done:
+            parts.append(f"ETA {self._fmt_eta((total - done) / rate)}")
+        noise = []
+        for key, label in (("retries", "retries"),
+                           ("quarantined", "quarantined"),
+                           ("respawns", "respawns")):
+            n = self._info.get(key, 0)
+            if n:
+                noise.append(f"{n} {label}")
+        if noise:
+            parts.append("(" + ", ".join(noise) + ")")
+        return "  ".join(parts)
+
+    @staticmethod
+    def _fmt_eta(seconds: float) -> str:
+        if seconds >= 90.0:
+            return f"{seconds / 60.0:.1f}m"
+        return f"{seconds:.0f}s"
+
+    def _paint(self, now: Optional[float] = None) -> None:
+        line = self._compose(now if now is not None else
+                             time.perf_counter())
+        pad = " " * max(0, self._width - len(line))
+        self._width = len(line)
+        try:
+            self.stream.write("\r" + line + pad)
+            self.stream.flush()
+        except (OSError, ValueError):  # closed/broken stream: go quiet
+            self.update = lambda info: None  # type: ignore[method-assign]
+
+    def finish(self) -> None:
+        """Paint the final state and release the line with a newline."""
+        if not self._info:
+            return
+        self._paint()
+        try:
+            self.stream.write("\n")
+            self.stream.flush()
+        except (OSError, ValueError):
+            pass

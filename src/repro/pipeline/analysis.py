@@ -51,6 +51,7 @@ from repro.env import analysis_cache_mode
 from repro.errors import ReproError
 from repro.hw.mii import squash_distances
 from repro.ir.nodes import Program
+from repro.obs import metrics as obs_metrics
 from repro.pipeline.artifacts import AnalyzedDFG
 from repro.store import analysis_store
 
@@ -252,6 +253,13 @@ register_cache(_CACHE.clear)
 
 def analysis_cache() -> AnalysisCache:
     return _CACHE
+
+
+@obs_metrics.registry().collect
+def _analysis_collector() -> dict:
+    """Expose the shared cache's memory-tier counters to the registry."""
+    return {"analysis_mem_hits": _CACHE.hits,
+            "analysis_mem_misses": _CACHE.misses}
 
 
 def _sharing_enabled() -> bool:

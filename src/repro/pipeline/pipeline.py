@@ -48,6 +48,8 @@ from repro.hw.schedulers import DEFAULT_SCHEDULER, Scheduler, \
     scheduler_by_name
 from repro.hw.simulate import simulate_modulo, simulate_sequential
 from repro.ir.nodes import Program
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.pipeline.analysis import AnalysisCache, _sharing_enabled, \
     analysis_cache, base_analyzed_dfg, jam_analyzed_dfg, squash_analyzed_dfg
 from repro.pipeline.artifacts import (
@@ -70,28 +72,29 @@ VALIDATE_ITERS = 6
 # Stage timing (the `repro bench` per-stage breakdown)
 # ---------------------------------------------------------------------------
 
-#: Cumulative wall-clock seconds per stage in this process.  Two cheap
-#: ``perf_counter`` calls per stage; workers ship their deltas back to
-#: the exploration engine with each result batch.
-_STAGE_TIMES: dict[str, float] = {}
-_STAGE_COUNTS: dict[str, int] = {}
+#: Per-stage wall time lives in the metrics registry as ``stage.*``
+#: histograms (two cheap ``perf_counter`` calls per stage, one
+#: ``observe``); workers ship their registry deltas back to the
+#: exploration engine with each result batch.  ``stage_timings`` /
+#: ``reset_stage_timings`` stay as the historical views over it.
+_STAGE_PREFIX = "stage."
 
 
-def _record_stage(stage: str, seconds: float) -> None:
-    _STAGE_TIMES[stage] = _STAGE_TIMES.get(stage, 0.0) + seconds
-    _STAGE_COUNTS[stage] = _STAGE_COUNTS.get(stage, 0) + 1
+def _record_stage(stage: str, seconds: float,
+                  t0: Optional[float] = None,
+                  t1: Optional[float] = None) -> None:
+    obs_metrics.histogram(_STAGE_PREFIX + stage).observe(seconds)
+    if t0 is not None and t1 is not None:
+        obs_trace.emit_span(stage, "pipeline.stage", t0, t1)
 
 
 def stage_timings() -> dict[str, dict[str, float]]:
     """Snapshot of cumulative per-stage wall time/call counts."""
-    return {stage: {"seconds": _STAGE_TIMES[stage],
-                    "calls": _STAGE_COUNTS.get(stage, 0)}
-            for stage in _STAGE_TIMES}
+    return obs_metrics.registry().histogram_totals(_STAGE_PREFIX)
 
 
 def reset_stage_timings() -> None:
-    _STAGE_TIMES.clear()
-    _STAGE_COUNTS.clear()
+    obs_metrics.registry().reset_prefix(_STAGE_PREFIX)
 
 
 # ---------------------------------------------------------------------------
@@ -440,45 +443,57 @@ class CompilationPipeline:
         strict = mode == "strict"
         built = BuiltKernel(program=program, nest=nest)
         stage = "transform"
-        t0 = perf_counter()
+        flow_t0 = t0 = perf_counter()
         try:
             transformed = plan.transform(built, ds, jam, variant)
             t1 = perf_counter()
-            _record_stage("transform", t1 - t0)
+            _record_stage("transform", t1 - t0, t0, t1)
             stage, t0 = "analyze", t1
             analyzed = plan.analyze(transformed, self.target, self.cache)
             t1 = perf_counter()
-            _record_stage("analyze", t1 - t0)
+            _record_stage("analyze", t1 - t0, t0, t1)
             if mode != "off":
                 from repro.verify import verify_analyzed
                 stage, t0 = "verify", t1
                 verify_analyzed(analyzed, self.target.library,
                                 strict=strict)
                 t1 = perf_counter()
-                _record_stage("verify", t1 - t0)
+                _record_stage("verify", t1 - t0, t0, t1)
             stage, t0 = "schedule", t1
             scheduled = self._schedule(plan, analyzed)
             t1 = perf_counter()
-            _record_stage("schedule", t1 - t0)
+            _record_stage("schedule", t1 - t0, t0, t1)
             if mode != "off":
                 from repro.verify import verify_scheduled
                 stage, t0 = "verify", t1
                 verify_scheduled(scheduled, self.target.library,
                                  strict=strict)
                 t1 = perf_counter()
-                _record_stage("verify", t1 - t0)
+                _record_stage("verify", t1 - t0, t0, t1)
             stage, t0 = "validate", t1
             validated = self._validate(plan, scheduled)
-            _record_stage("validate", perf_counter() - t0)
+            t1 = perf_counter()
+            _record_stage("validate", t1 - t0, t0, t1)
             point = self._report(built, transformed, scheduled, base_ii)
             if strict:
                 from repro.verify import verify_design_point
                 stage, t0 = "verify", perf_counter()
                 verify_design_point(point, analyzed, self.target.library)
-                _record_stage("verify", perf_counter() - t0)
+                t1 = perf_counter()
+                _record_stage("verify", t1 - t0, t0, t1)
         except (LegalityError, ScheduleError, VerifyError) as exc:
-            _record_stage(stage, perf_counter() - t0)
+            t1 = perf_counter()
+            _record_stage(stage, t1 - t0, t0, t1)
+            obs_trace.emit_span("flow", "pipeline", flow_t0, t1,
+                                kernel=built.kernel, variant=variant,
+                                ds=ds, jam=jam, error=type(exc).__name__)
             raise self._with_provenance(exc, built, variant, ds, jam) from exc
+        flow_t1 = perf_counter()
+        obs_metrics.histogram("kernel." + built.kernel).observe(
+            flow_t1 - flow_t0)
+        obs_trace.emit_span("flow", "pipeline", flow_t0, flow_t1,
+                            kernel=built.kernel, variant=variant,
+                            ds=ds, jam=jam)
         return PipelineRun(built=built, transformed=transformed,
                            analyzed=analyzed, scheduled=scheduled,
                            validated=validated, point=point)

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.caches import register_cache
+from repro.obs import metrics as obs_metrics
 
 __all__ = ["ArtifactStore", "StoreStats", "analysis_store"]
 
@@ -121,6 +122,7 @@ class ArtifactStore:
             except OSError:
                 return
             self.stats.torn += 1
+            obs_metrics.counter(f"store.{self.name}.torn").add()
             return
         lock_path = root / ".lock"
         try:
@@ -194,3 +196,19 @@ def analysis_store() -> ArtifactStore:
 def iisearch_store() -> ArtifactStore:
     """The shared store for II-search certificates."""
     return _IISEARCH_STORE
+
+
+@obs_metrics.registry().collect
+def _store_collector() -> dict:
+    """Expose both singleton stores' disk-tier counters to the registry.
+
+    Key names match the historical ``cache_counters`` spelling
+    (``analysis_disk_hits``, ``iimemo_disk_misses``, ...), so sweeps and
+    bench records keep their schema.
+    """
+    out: dict[str, int] = {}
+    for label, store in (("analysis", _ANALYSIS_STORE),
+                         ("iimemo", _IISEARCH_STORE)):
+        for key, val in store.stats.as_dict().items():
+            out[f"{label}_disk_{key}"] = val
+    return out

@@ -181,7 +181,7 @@ class TestBatching:
         from repro.nimble.compiler import compile_query_batch
         payload = compile_query_batch([DesignQuery("iir", "original"),
                                        DesignQuery("iir", "pipelined")])
-        assert set(payload) == {"results", "stages", "counters"}
+        assert set(payload) == {"results", "stages", "counters", "metrics"}
         assert len(payload["results"]) == 2
         assert all(isinstance(r, DesignPoint) for r in payload["results"])
 

@@ -1,0 +1,70 @@
+"""The ``--progress`` line renderer."""
+
+import io
+
+from repro.obs.progress import ProgressLine
+
+
+def _line(stream):
+    # the last carriage-return-delimited payload is what the terminal shows
+    return stream.getvalue().split("\r")[-1]
+
+
+class TestProgressLine:
+    def test_renders_done_total_and_rate(self):
+        out = io.StringIO()
+        p = ProgressLine(stream=out, min_interval=0.0)
+        p.update({"done": 3, "total": 12})
+        text = _line(out)
+        assert "3/12 designs" in text
+        assert "/s" in text
+        assert "ETA" in text
+
+    def test_noise_tallies_appear_only_when_nonzero(self):
+        out = io.StringIO()
+        p = ProgressLine(stream=out, min_interval=0.0)
+        p.update({"done": 1, "total": 4})
+        assert "retries" not in _line(out)
+        p.update({"done": 2, "total": 4, "retries": 3, "quarantined": 1})
+        text = _line(out)
+        assert "3 retries" in text
+        assert "1 quarantined" in text
+
+    def test_shorter_repaint_pads_over_previous_line(self):
+        out = io.StringIO()
+        p = ProgressLine(stream=out, min_interval=0.0)
+        p.update({"done": 2, "total": 4, "retries": 100})
+        long = _line(out)
+        p.update({"done": 3, "total": 4})
+        assert len(_line(out)) >= len(long)  # padded, no stale tail
+
+    def test_throttles_repaints(self):
+        out = io.StringIO()
+        p = ProgressLine(stream=out, min_interval=3600.0)
+        p.update({"done": 1, "total": 4})
+        p.update({"done": 2, "total": 4})
+        p.update({"done": 3, "total": 4})
+        assert out.getvalue().count("\r") == 1  # only the first painted
+
+    def test_finish_paints_final_state_and_newline(self):
+        out = io.StringIO()
+        p = ProgressLine(stream=out, min_interval=3600.0)
+        p.update({"done": 4, "total": 4})
+        p.finish()
+        assert "4/4 designs" in _line(out).rstrip("\n")
+        assert out.getvalue().endswith("\n")
+
+    def test_finish_without_updates_is_silent(self):
+        out = io.StringIO()
+        ProgressLine(stream=out).finish()
+        assert out.getvalue() == ""
+
+    def test_broken_stream_goes_quiet(self):
+        class Broken(io.StringIO):
+            def flush(self):
+                raise OSError("gone")
+
+        p = ProgressLine(stream=Broken(), min_interval=0.0)
+        p.update({"done": 1, "total": 2})
+        p.update({"done": 2, "total": 2})  # must not raise
+        p.finish()

@@ -1,0 +1,234 @@
+"""The span tracer: modes, zero-overhead off path, merge, export."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import trace
+from repro.obs.trace import (
+    NOOP_SPAN, drain, emit_span, enabled, export_trace, full_enabled,
+    inject, instant, reset_trace, span, trace_header, validate_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer(monkeypatch):
+    """Every test starts untraced with an empty buffer."""
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    reset_trace()
+    yield
+    reset_trace()
+
+
+def _on(monkeypatch, mode="1"):
+    monkeypatch.setenv("REPRO_TRACE", mode)
+
+
+class TestModes:
+    def test_off_by_default(self):
+        assert not enabled()
+        assert not full_enabled()
+
+    @pytest.mark.parametrize("raw", ["0", "off", ""])
+    def test_off_spellings(self, monkeypatch, raw):
+        _on(monkeypatch, raw)
+        assert not enabled()
+
+    @pytest.mark.parametrize("raw", ["1", "on"])
+    def test_on_spellings(self, monkeypatch, raw):
+        _on(monkeypatch, raw)
+        assert enabled()
+        assert not full_enabled()
+
+    def test_full_implies_on(self, monkeypatch):
+        _on(monkeypatch, "full")
+        assert enabled()
+        assert full_enabled()
+
+    def test_garbage_raises(self, monkeypatch):
+        _on(monkeypatch, "bogus")
+        with pytest.raises(ReproError, match="REPRO_TRACE"):
+            enabled()
+
+    def test_mode_memo_tracks_env_flips(self, monkeypatch):
+        assert not enabled()
+        _on(monkeypatch)
+        assert enabled()
+        monkeypatch.delenv("REPRO_TRACE")
+        assert not enabled()
+
+
+class TestOffIsFree:
+    def test_span_returns_the_shared_noop_singleton(self):
+        s1 = span("x", "cat", a=1)
+        s2 = span("y", "cat")
+        assert s1 is NOOP_SPAN
+        assert s2 is NOOP_SPAN
+
+    def test_nothing_is_recorded_when_off(self):
+        with span("x", "cat") as sp:
+            sp.set(detail=1)
+        instant("ping", "cat")
+        emit_span("y", "cat", 0.0, 1.0)
+        assert drain() == []
+
+
+class TestRecording:
+    def test_span_records_complete_event(self, monkeypatch):
+        _on(monkeypatch)
+        with span("work", "unit", kernel="iir") as sp:
+            sp.set(ii=3)
+        (ev,) = drain()
+        assert ev["name"] == "work"
+        assert ev["cat"] == "unit"
+        assert ev["ph"] == "X"
+        assert ev["dur"] >= 0
+        assert ev["args"] == {"kernel": "iir", "ii": 3}
+
+    def test_nested_spans_record_inner_then_outer(self, monkeypatch):
+        _on(monkeypatch)
+        with span("outer", "unit"):
+            with span("inner", "unit"):
+                pass
+        inner, outer = drain()
+        assert (inner["name"], outer["name"]) == ("inner", "outer")
+        # the outer interval must contain the inner one
+        assert outer["ts"] <= inner["ts"]
+        assert outer["ts"] + outer["dur"] >= inner["ts"] + inner["dur"]
+
+    def test_span_tags_error_arg_on_exception(self, monkeypatch):
+        _on(monkeypatch)
+        with pytest.raises(ValueError):
+            with span("work", "unit"):
+                raise ValueError("boom")
+        (ev,) = drain()
+        assert ev["args"]["error"] == "ValueError"
+
+    def test_instant_event_shape(self, monkeypatch):
+        _on(monkeypatch)
+        instant("retry", "supervise", attempt=2)
+        (ev,) = drain()
+        assert ev["ph"] == "i"
+        assert ev["s"] == "p"
+        assert ev["args"] == {"attempt": 2}
+
+    def test_emit_span_converts_perf_counter_readings(self, monkeypatch):
+        import time
+        _on(monkeypatch)
+        t0 = time.perf_counter()
+        t1 = t0 + 0.125
+        emit_span("stage", "pipeline.stage", t0, t1)
+        (ev,) = drain()
+        assert 124_000 <= ev["dur"] <= 126_000  # µs
+        # ts is anchored epoch µs: same scale as a live span's
+        with span("probe", "unit"):
+            pass
+        (probe,) = drain()
+        assert abs(probe["ts"] - ev["ts"]) < 10_000_000  # within 10s
+
+
+class TestMergeAndBuffer:
+    def test_drain_moves_events(self, monkeypatch):
+        _on(monkeypatch)
+        instant("a")
+        assert len(drain()) == 1
+        assert drain() == []
+
+    def test_inject_appends_foreign_events(self, monkeypatch):
+        _on(monkeypatch)
+        instant("local")
+        inject([{"name": "remote", "cat": "worker", "ph": "i", "s": "p",
+                 "ts": 1, "pid": 99, "tid": 1}])
+        events = drain()
+        assert [e["name"] for e in events] == ["local", "remote"]
+
+    def test_buffer_cap_counts_drops(self, monkeypatch):
+        from repro.obs import metrics
+        _on(monkeypatch)
+        monkeypatch.setattr(trace, "_EVENT_CAP", 3)
+        dropped0 = metrics.counter("obs.trace.dropped").value
+        for _ in range(5):
+            instant("x")
+        assert len(drain()) == 3
+        assert metrics.counter("obs.trace.dropped").value - dropped0 == 2
+
+    def test_inject_respects_cap(self, monkeypatch):
+        _on(monkeypatch)
+        monkeypatch.setattr(trace, "_EVENT_CAP", 2)
+        inject([{"name": str(i), "cat": "c", "ph": "i", "s": "p",
+                 "ts": i, "pid": 1, "tid": 1} for i in range(5)])
+        assert len(drain()) == 2
+
+    def test_forked_child_does_not_reship_inherited_events(self,
+                                                           monkeypatch):
+        _on(monkeypatch)
+        instant("parent-event")
+        # simulate the fork: the child sees the same buffer under a
+        # different pid and must start empty instead of re-shipping
+        monkeypatch.setattr(trace, "_BUFFER_PID", trace._BUFFER_PID + 1)
+        assert drain() == []
+
+
+class TestExport:
+    def test_header_adds_process_metadata_and_metrics(self, monkeypatch):
+        import os
+        _on(monkeypatch)
+        instant("local")
+        events = drain()
+        events.append({"name": "remote", "cat": "worker", "ph": "i",
+                       "s": "p", "ts": 1, "pid": 424242, "tid": 1})
+        doc = trace_header(events)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["pid"]: e["args"]["name"] for e in meta}
+        assert names[os.getpid()] == "supervisor"
+        assert names[424242] == "worker-424242"
+        assert "reproMetrics" in doc
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_export_round_trips_as_valid_json(self, monkeypatch, tmp_path):
+        _on(monkeypatch)
+        with span("work", "unit"):
+            instant("ping", "unit")
+        out = tmp_path / "trace.json"
+        n = export_trace(str(out))
+        assert n == 2
+        doc = json.loads(out.read_text())
+        assert validate_trace(doc) == []
+        assert {e["name"] for e in doc["traceEvents"]} \
+            >= {"work", "ping", "process_name"}
+
+    def test_off_mode_exports_an_empty_trace(self, tmp_path):
+        with span("work", "unit"):
+            pass
+        out = tmp_path / "trace.json"
+        assert export_trace(str(out)) == 0
+        doc = json.loads(out.read_text())
+        assert [e for e in doc["traceEvents"] if e["ph"] != "M"] == []
+
+
+class TestValidate:
+    def test_accepts_what_the_tracer_produces(self, monkeypatch):
+        _on(monkeypatch, "full")
+        with span("a", "c", k=1):
+            instant("b", "c")
+        assert validate_trace(trace_header(drain())) == []
+
+    @pytest.mark.parametrize("doc,match", [
+        ([], "top level"),
+        ({}, "traceEvents"),
+        ({"traceEvents": [{"ph": "Q"}]}, "unknown phase"),
+        ({"traceEvents": [{"ph": "X", "name": "a", "cat": "c",
+                           "ts": 1, "dur": -1, "pid": 1, "tid": 1}]},
+         "dur"),
+        ({"traceEvents": [{"ph": "i", "name": "a", "cat": "c",
+                           "ts": 1, "s": "z", "pid": 1, "tid": 1}]},
+         "scope"),
+        ({"traceEvents": [{"ph": "X", "cat": "c", "ts": 1, "dur": 1,
+                           "pid": 1, "tid": 1}]},
+         "name"),
+    ])
+    def test_rejects_malformed_documents(self, doc, match):
+        problems = validate_trace(doc)
+        assert problems
+        assert any(match in p for p in problems)
